@@ -1,0 +1,91 @@
+"""Randomized workload simulation — the paper's "true test".
+
+Section 8: "The true test of any optimization scheme is how well it works
+on 'real' workloads."  Lacking OLE-DB-for-OLAP traces (as the authors did),
+we simulate client sessions: batches of randomly generated MDX expressions
+(via :mod:`repro.workload.mdx_generator`) are optimized batch-wise by each
+algorithm, and the distribution of speedups over one-at-a-time execution is
+reported.
+
+Shape to verify: GG helps on average and never hurts materially; the
+benefit varies with how related the batched expressions happen to be —
+exactly the caveat the paper raises about workload dependence.
+"""
+
+import random
+import statistics
+
+from repro.bench.reporting import format_table
+from repro.engine.session import QuerySession
+from repro.workload.mdx_generator import generate_mdx
+
+N_SESSIONS = 12
+EXPRESSIONS_PER_SESSION = 3
+
+ALGORITHMS = ("naive", "tplo", "gg")
+
+
+def test_random_mdx_sessions(db, report, benchmark):
+    def run():
+        per_algorithm = {name: [] for name in ALGORITHMS}
+        dedup_total = 0
+        for seed in range(N_SESSIONS):
+            rng = random.Random(1000 + seed)
+            texts = [
+                generate_mdx(db.schema, rng, max_members_per_axis=2).text
+                for _ in range(EXPRESSIONS_PER_SESSION)
+            ]
+            sims = {}
+            for algorithm in ALGORITHMS:
+                session = QuerySession(db, algorithm=algorithm)
+                for i, text in enumerate(texts):
+                    session.add_mdx(text, f"s{seed}e{i}")
+                outcome = session.run()
+                sims[algorithm] = outcome.execution.sim_ms
+                if algorithm == "gg":
+                    dedup_total += outcome.n_duplicates_eliminated
+            for algorithm in ALGORITHMS:
+                per_algorithm[algorithm].append(sims[algorithm])
+        return per_algorithm, dedup_total
+
+    (per_algorithm, dedup_total) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = []
+    for algorithm in ALGORITHMS:
+        sims = per_algorithm[algorithm]
+        rows.append(
+            (
+                algorithm,
+                statistics.mean(sims),
+                min(sims),
+                max(sims),
+            )
+        )
+    speedups = [
+        naive / gg
+        for naive, gg in zip(per_algorithm["naive"], per_algorithm["gg"])
+    ]
+    report(
+        format_table(
+            ["algorithm", "mean sim-ms", "min", "max"],
+            rows,
+            title=f"Workload simulation — {N_SESSIONS} random sessions × "
+            f"{EXPRESSIONS_PER_SESSION} MDX expressions "
+            f"(speedup gg vs naive: mean {statistics.mean(speedups):.2f}x, "
+            f"best {max(speedups):.2f}x, worst {min(speedups):.2f}x; "
+            f"{dedup_total} duplicate queries eliminated)",
+        )
+    )
+    # GG never materially worse than naive on any session...
+    for naive, gg in zip(per_algorithm["naive"], per_algorithm["gg"]):
+        assert gg <= naive * 1.05
+    # ...and clearly better on average.
+    assert statistics.mean(speedups) > 1.2
+    # TPLO sits between naive and GG on average.
+    assert statistics.mean(per_algorithm["gg"]) <= statistics.mean(
+        per_algorithm["tplo"]
+    ) * 1.01
+    assert statistics.mean(per_algorithm["tplo"]) <= statistics.mean(
+        per_algorithm["naive"]
+    ) * 1.01

@@ -1,0 +1,32 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .harness import (
+    AlgorithmRow,
+    DEFAULT_ALGORITHMS,
+    ForcedRun,
+    SharingRow,
+    run_algorithm_comparison,
+    run_forced_class,
+    run_separately,
+    run_test1_shared_scan,
+    run_test2_shared_index,
+    run_test3_hybrid,
+    table1_rows,
+)
+from .reporting import format_series, format_table
+
+__all__ = [
+    "AlgorithmRow",
+    "DEFAULT_ALGORITHMS",
+    "ForcedRun",
+    "SharingRow",
+    "format_series",
+    "format_table",
+    "run_algorithm_comparison",
+    "run_forced_class",
+    "run_separately",
+    "run_test1_shared_scan",
+    "run_test2_shared_index",
+    "run_test3_hybrid",
+    "table1_rows",
+]

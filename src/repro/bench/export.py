@@ -1,0 +1,62 @@
+"""CSV export for benchmark results (plotting-friendly).
+
+Every harness row type knows how to flatten itself; ``write_csv`` takes any
+sequence of dataclass-like rows and writes one file per call.  Used by the
+benchmarks when ``REPRO_BENCH_EXPORT`` names a directory, and available to
+users who want to plot the figures with their own tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+
+def _flatten(row) -> dict:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        out = {}
+        for field in dataclasses.fields(row):
+            value = getattr(row, field.name)
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                out[field.name] = value
+        return out
+    if isinstance(row, dict):
+        return dict(row)
+    if isinstance(row, (tuple, list)):
+        return {f"col{i}": v for i, v in enumerate(row)}
+    raise TypeError(f"cannot flatten row of type {type(row)!r}")
+
+
+def write_csv(
+    rows: Sequence, path: str | Path, extra: dict | None = None
+) -> Path:
+    """Write ``rows`` (dataclasses, dicts, or tuples) to ``path`` as CSV.
+
+    ``extra`` adds constant columns (e.g. the bench scale) to every row.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("nothing to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    flattened: List[dict] = []
+    for row in rows:
+        record = _flatten(row)
+        if extra:
+            record.update(extra)
+        flattened.append(record)
+    fieldnames = list(flattened[0])
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in flattened:
+            writer.writerow(record)
+    return path
+
+
+def read_csv(path: str | Path) -> List[dict]:
+    """Read back a CSV written by :func:`write_csv` (strings preserved)."""
+    with Path(path).open(newline="") as handle:
+        return list(csv.DictReader(handle))

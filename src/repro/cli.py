@@ -1,0 +1,303 @@
+"""Command-line interface.
+
+Usage (installed as a module)::
+
+    python -m repro info
+    python -m repro run "{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D.DD1)"
+    python -m repro compare --tests test4,test7
+    python -m repro figures
+    python -m repro select-views --budget 4
+
+Every subcommand builds the paper's ABCD database (scaled by ``--scale``)
+unless documented otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .bench.harness import (
+    run_algorithm_comparison,
+    run_test1_shared_scan,
+    run_test2_shared_index,
+    run_test3_hybrid,
+)
+from .bench.reporting import format_table
+from .engine.view_selection import greedy_select_views, materialize_selection
+from .mdx import translate_mdx
+from .workload.paper_queries import PAPER_TESTS, paper_queries
+from .workload.paper_schema import build_paper_database
+
+ALGORITHMS = ("naive", "tplo", "etplg", "gg", "optimal")
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="fraction of the paper's 2M-row base table (default 0.01)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Simultaneous Optimization and "
+        "Evaluation of Multiple Dimensional Queries' (SIGMOD 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="build the paper database and show it")
+    _add_scale(info)
+    info.add_argument(
+        "--save", metavar="DIR",
+        help="persist the built database to a directory",
+    )
+
+    run = sub.add_parser("run", help="optimize + execute one MDX expression")
+    _add_scale(run)
+    run.add_argument("mdx", nargs="?", help="MDX text (or use --file)")
+    run.add_argument("--file", help="read the MDX expression from a file")
+    run.add_argument(
+        "--database", metavar="DIR",
+        help="load a saved database instead of building the paper's",
+    )
+    run.add_argument(
+        "--algorithm", default="gg", choices=ALGORITHMS,
+        help="optimizer (default gg)",
+    )
+    run.add_argument(
+        "--explain", action="store_true",
+        help="print the global plan before executing",
+    )
+    run.add_argument(
+        "--limit", type=int, default=10,
+        help="max result rows to print per query (default 10)",
+    )
+    run.add_argument(
+        "--pivot", action="store_true",
+        help="lay the results out on the MDX axes (grid per PAGES member)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="Table 2: compare the optimization algorithms"
+    )
+    _add_scale(compare)
+    compare.add_argument(
+        "--tests",
+        default=",".join(PAPER_TESTS),
+        help="comma-separated subset of: " + ", ".join(PAPER_TESTS),
+    )
+
+    figures = sub.add_parser(
+        "figures", help="Figures 10-12: the three shared operators"
+    )
+    _add_scale(figures)
+
+    report_cmd = sub.add_parser(
+        "report", help="run every paper experiment; emit a markdown report"
+    )
+    _add_scale(report_cmd)
+    report_cmd.add_argument(
+        "--output", metavar="FILE", help="write the report to a file"
+    )
+
+    select = sub.add_parser(
+        "select-views", help="greedy (HRU) materialized-view selection"
+    )
+    _add_scale(select)
+    select.add_argument(
+        "--budget", type=int, default=5,
+        help="number of views to select (default 5)",
+    )
+    select.add_argument(
+        "--materialize", action="store_true",
+        help="also materialize the selection and show the resulting catalog",
+    )
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = build_paper_database(scale=args.scale)
+    print(f"schema: {db.schema.name}; base rows: "
+          f"{db.catalog.get('ABCD').n_rows}")
+    rows = []
+    for name, n_rows, n_pages in db.table_report():
+        entry = db.catalog.get(name)
+        indexed = ", ".join(
+            f"{db.schema.dimensions[d].name}@{lv}"
+            for d, lv in sorted(entry.indexes)
+        )
+        rows.append((name, n_rows, n_pages, indexed or "-"))
+    print(format_table(["table", "rows", "pages", "indexes"], rows))
+    if args.save:
+        from .engine.persist import save_database
+
+        root = save_database(db, args.save)
+        print(f"\nsaved to {root}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.file:
+        with open(args.file) as handle:
+            mdx = handle.read()
+    elif args.mdx:
+        mdx = args.mdx
+    else:
+        print("error: provide MDX text or --file", file=sys.stderr)
+        return 2
+    if args.database:
+        from .engine.persist import load_database
+
+        db = load_database(args.database)
+    else:
+        db = build_paper_database(scale=args.scale)
+    if args.pivot:
+        from .mdx.pivot import evaluate_pivot
+
+        pivot = evaluate_pivot(db, mdx, algorithm=args.algorithm)
+        print(pivot.render())
+        print(f"\n({len(pivot.queries)} component query(ies), "
+              f"{pivot.sim_ms:.1f} sim-ms)")
+        return 0
+    queries = translate_mdx(db.schema, mdx)
+    print(f"{len(queries)} component group-by query(ies):")
+    for query in queries:
+        print("  " + query.describe(db.schema))
+    plan = db.optimize(queries, args.algorithm)
+    if args.explain:
+        from .core.explain import explain_plan
+
+        print()
+        print(explain_plan(db.schema, db.catalog, plan))
+    report = db.execute(plan)
+    print()
+    print(report.summary())
+    for query in queries:
+        result = report.result_for(query)
+        print(f"\n{query.display_name()}: {result.n_groups} group(s)")
+        for names, value in result.to_named_rows(db.schema)[: args.limit]:
+            print(f"  {', '.join(names):40s} {value:14.2f}")
+        if result.n_groups > args.limit:
+            print(f"  ... {result.n_groups - args.limit} more")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = [t.strip() for t in args.tests.split(",") if t.strip()]
+    unknown = [t for t in names if t not in PAPER_TESTS]
+    if unknown:
+        print(f"error: unknown tests {unknown}; choose from "
+              f"{list(PAPER_TESTS)}", file=sys.stderr)
+        return 2
+    db = build_paper_database(scale=args.scale)
+    qs = paper_queries(db.schema)
+    for test_name in names:
+        ids = PAPER_TESTS[test_name]
+        rows = run_algorithm_comparison(
+            db, [qs[i] for i in ids], ALGORITHMS
+        )
+        print()
+        print(
+            format_table(
+                ["algorithm", "est sim-ms", "exec sim-ms", "classes", "plan"],
+                [
+                    (r.algorithm, r.est_ms, r.sim_ms, r.n_classes, r.plan)
+                    for r in rows
+                ],
+                title=f"{test_name} (Queries {ids})",
+            )
+        )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    db = build_paper_database(scale=args.scale)
+    qs = paper_queries(db.schema)
+    for title, rows in [
+        (
+            "Figure 10 - shared scan (Q1-4 hash on ABCD)",
+            run_test1_shared_scan(db, [qs[i] for i in (1, 2, 3, 4)]),
+        ),
+        (
+            "Figure 11 - shared index (Q5,8,6,7 on A'B'C'D)",
+            run_test2_shared_index(db, [qs[i] for i in (5, 8, 6, 7)]),
+        ),
+        (
+            "Figure 12 - hybrid (Q3 hash + Q5,6,7 index on A'B'C'D)",
+            run_test3_hybrid(db, [qs[3]], [qs[5], qs[6], qs[7]]),
+        ),
+    ]:
+        print()
+        print(
+            format_table(
+                ["queries", "separate sim-ms", "shared sim-ms", "speedup"],
+                [
+                    (r.n_queries, r.separate_ms, r.shared_ms,
+                     f"{r.speedup:.2f}x")
+                    for r in rows
+                ],
+                title=title,
+            )
+        )
+    return 0
+
+
+def _cmd_select_views(args: argparse.Namespace) -> int:
+    db = build_paper_database(scale=args.scale)
+    n_base = db.catalog.get("ABCD").n_rows
+    selection = greedy_select_views(db.schema, n_base, n_views=args.budget)
+    print(
+        format_table(
+            ["step", "view", "est rows", "benefit (rows saved)"],
+            [
+                (i + 1, step.view.name(db.schema), step.estimated_rows,
+                 step.benefit)
+                for i, step in enumerate(selection.steps)
+            ],
+            title=f"Greedy view selection (budget {args.budget}, "
+            f"base {n_base} rows)",
+        )
+    )
+    if args.materialize:
+        created = materialize_selection(db, selection)
+        print(f"\nmaterialized: {created}")
+        print(format_table(
+            ["table", "rows", "pages"], db.table_report()
+        ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench.paper_report import generate_report
+
+    text = generate_report(scale=args.scale, output=args.output)
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figures": _cmd_figures,
+    "report": _cmd_report,
+    "select-views": _cmd_select_views,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: shared star-join operators, multi-query
+optimizers (TPLO / ETPLG / GG), and the plan executor."""
+
+from .executor import ClassExecution, ExecutionReport, execute_plan, run_class
+from .explain import explain_class, explain_plan
+from .operators import (
+    HashStarJoin,
+    IndexStarJoin,
+    MissingIndexError,
+    QueryResult,
+    SharedHybridStarJoin,
+    SharedIndexStarJoin,
+    SharedScanHashStarJoin,
+)
+from .optimizer import (
+    CostModel,
+    GlobalPlan,
+    JoinMethod,
+    LocalPlan,
+    OPTIMIZERS,
+    PlanClass,
+    make_optimizer,
+)
+
+__all__ = [
+    "ClassExecution",
+    "CostModel",
+    "ExecutionReport",
+    "GlobalPlan",
+    "HashStarJoin",
+    "IndexStarJoin",
+    "JoinMethod",
+    "LocalPlan",
+    "MissingIndexError",
+    "OPTIMIZERS",
+    "PlanClass",
+    "QueryResult",
+    "SharedHybridStarJoin",
+    "SharedIndexStarJoin",
+    "SharedScanHashStarJoin",
+    "execute_plan",
+    "explain_class",
+    "explain_plan",
+    "make_optimizer",
+    "run_class",
+]

@@ -1,0 +1,77 @@
+"""Hash-based star joins: the single-query pipelined right-deep plan and the
+paper's *shared scan hash-based star join* (Section 3.1).
+
+The shared operator streams the base table past every query's pipeline once:
+the scan I/O is charged once, the dimension hash tables are built once per
+distinct structure (via the shared :class:`~.pipeline.RollupCache`), and only
+the per-query probe/filter/aggregate CPU grows with the number of queries —
+exactly the trade-off the paper measures in Test 1 / Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...schema.lattice import source_can_answer
+from ...schema.query import GroupByQuery
+from .pipeline import ExecContext, QueryPipeline, RollupCache, page_columns
+from .results import QueryResult
+
+
+class SharedScanHashStarJoin:
+    """Evaluate several queries with one sequential scan of one base table."""
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        source_name: str,
+        queries: Sequence[GroupByQuery],
+    ):
+        if not queries:
+            raise ValueError("need at least one query")
+        self.ctx = ctx
+        self.source = ctx.entry(source_name)
+        self.queries = list(queries)
+        for query in self.queries:
+            if not source_can_answer(
+                self.source.levels, self.source.source_aggregate, query
+            ):
+                raise ValueError(
+                    f"{query.display_name()} cannot be answered from "
+                    f"{source_name!r} (levels {self.source.levels}, "
+                    f"measure {self.source.source_aggregate!r})"
+                )
+
+    def run(self) -> List[QueryResult]:
+        """Execute the operator; returns per-query results in input order."""
+        ctx = self.ctx
+        rollups = RollupCache(
+            ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
+        )
+        pipelines = [
+            QueryPipeline(
+                ctx.schema,
+                q,
+                self.source.levels,
+                rollups,
+                source_aggregate=self.source.source_aggregate,
+            )
+            for q in self.queries
+        ]
+        n_dims = ctx.schema.n_dims
+        for page in self.source.table.scan_pages(ctx.pool):
+            keys, measures = page_columns(page, n_dims)
+            for pipeline in pipelines:
+                pipeline.process_batch(keys, measures, ctx.stats)
+        return [p.result() for p in pipelines]
+
+
+class HashStarJoin(SharedScanHashStarJoin):
+    """A single-query hash-based star join (the Figure 1 plan)."""
+
+    def __init__(self, ctx: ExecContext, source_name: str, query: GroupByQuery):
+        super().__init__(ctx, source_name, [query])
+
+    def run_single(self) -> QueryResult:
+        """Execute for the single query; returns its result."""
+        return self.run()[0]

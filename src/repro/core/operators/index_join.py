@@ -1,0 +1,213 @@
+"""Bitmap-index star joins: the single-query plan (the Figure 3/steps 1–7
+walkthrough) and the paper's *shared index join* (Section 3.2).
+
+A query's result bitmap is built by OR-ing the bitmaps of its selected
+members within each dimension and AND-ing across dimensions.  The shared
+operator then ORs the per-query result bitmaps, probes the base table once
+with the union, and routes each retrieved tuple to the queries whose own
+bitmap has that position set (the paper's "Filter tuples" operators).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...index.bitmap import Bitmap, and_all
+from ...index.bitmap_index import JoinIndex
+from ...schema.lattice import source_can_answer
+from ...schema.query import DimPredicate, GroupByQuery
+from ...storage.catalog import TableEntry
+from .pipeline import ExecContext, QueryPipeline, RollupCache
+from .results import QueryResult
+
+
+class MissingIndexError(LookupError):
+    """Raised when an index-based plan needs a join index that was not built."""
+
+
+def usable_index(
+    ctx: ExecContext, entry: TableEntry, predicate: DimPredicate
+) -> Optional[Tuple[JoinIndex, List[int]]]:
+    """Find a join index able to evaluate ``predicate`` on ``entry``.
+
+    Prefers an index exactly at the predicate's level; otherwise uses the
+    coarsest finer-level index, translating each predicate member into its
+    descendant members at the index level.  Returns the index and the member
+    ids to look up, or None when no usable index exists (the predicate then
+    becomes a residual filter in the query pipeline).
+    """
+    dim_index = predicate.dim_index
+    dim = ctx.schema.dimensions[dim_index]
+    stored_level = entry.levels[dim_index]
+    best: Optional[JoinIndex] = None
+    for level in range(predicate.level, stored_level - 1, -1):
+        index = entry.index_for(dim_index, level)
+        if index is not None:
+            best = index
+            break
+    if best is None:
+        return None
+    if best.level == predicate.level:
+        members = sorted(predicate.member_ids)
+    else:
+        members = sorted(
+            descendant
+            for member in predicate.member_ids
+            for descendant in dim.descendants(predicate.level, member, best.level)
+        )
+    return best, members
+
+
+def query_result_bitmap(
+    ctx: ExecContext, entry: TableEntry, query: GroupByQuery
+) -> Bitmap:
+    """Steps 1–5 of the paper's bitmap join: per-dimension OR (inside the
+    index lookup), then AND across dimensions.
+
+    Predicates on unindexed dimensions do not narrow the bitmap; the query
+    pipeline re-applies every predicate as a residual filter, so correctness
+    never depends on index availability.  Raises :class:`MissingIndexError`
+    when *no* predicate is indexable (an index plan would be pointless).
+    """
+    if not query.predicates:
+        # Degenerate: no selection — every row qualifies.
+        return Bitmap.ones(entry.table.n_rows)
+    per_dim: List[Bitmap] = []
+    for predicate in query.predicates:
+        found = usable_index(ctx, entry, predicate)
+        if found is None:
+            continue
+        index, members = found
+        per_dim.append(index.lookup(members, ctx.stats))
+    if not per_dim:
+        raise MissingIndexError(
+            f"table {entry.name!r} has no join index usable by any "
+            f"predicate of {query.display_name()}"
+        )
+    result = and_all(per_dim, n_bits=entry.table.n_rows)
+    if len(per_dim) > 1:
+        ctx.stats.charge_bitmap_words(result.n_words * (len(per_dim) - 1))
+    return result
+
+
+def _probe_and_collect(
+    ctx: ExecContext, entry: TableEntry, positions: np.ndarray
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Fetch rows at ``positions`` (random page reads through the pool) and
+    return them column-wise, in position order."""
+    n_dims = ctx.schema.n_dims
+    if positions.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return [empty] * n_dims, np.empty(0, dtype=np.float64)
+    rows: List[tuple] = []
+    for _position, row in entry.table.probe_positions(ctx.pool, positions.tolist()):
+        rows.append(row)
+    matrix = np.asarray(rows, dtype=np.float64)
+    keys = [matrix[:, d].astype(np.int64) for d in range(n_dims)]
+    return keys, matrix[:, n_dims]
+
+
+class IndexStarJoin:
+    """Single-query bitmap-index star join (steps 1–7 of Section 3.2)."""
+
+    def __init__(self, ctx: ExecContext, source_name: str, query: GroupByQuery):
+        self.ctx = ctx
+        self.source = ctx.entry(source_name)
+        self.query = query
+        if not source_can_answer(
+            self.source.levels, self.source.source_aggregate, query
+        ):
+            raise ValueError(
+                f"{query.display_name()} cannot be answered from "
+                f"{source_name!r} (levels {self.source.levels}, "
+                f"measure {self.source.source_aggregate!r})"
+            )
+
+    def run_single(self) -> QueryResult:
+        """Execute for the single query; returns its result."""
+        ctx = self.ctx
+        bitmap = query_result_bitmap(ctx, self.source, self.query)
+        positions = bitmap.positions()
+        keys, measures = _probe_and_collect(ctx, self.source, positions)
+        rollups = RollupCache(
+            ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
+        )
+        pipeline = QueryPipeline(
+            ctx.schema,
+            self.query,
+            self.source.levels,
+            rollups,
+            source_aggregate=self.source.source_aggregate,
+        )
+        pipeline.process_batch(keys, measures, ctx.stats)
+        return pipeline.result()
+
+    def run(self) -> List[QueryResult]:
+        """Execute the operator; returns per-query results in input order."""
+        return [self.run_single()]
+
+
+class SharedIndexStarJoin:
+    """Shared index join: one probe of the base table serves every query."""
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        source_name: str,
+        queries: Sequence[GroupByQuery],
+    ):
+        if not queries:
+            raise ValueError("need at least one query")
+        self.ctx = ctx
+        self.source = ctx.entry(source_name)
+        self.queries = list(queries)
+        for query in self.queries:
+            if not source_can_answer(
+                self.source.levels, self.source.source_aggregate, query
+            ):
+                raise ValueError(
+                    f"{query.display_name()} cannot be answered from "
+                    f"{source_name!r} (levels {self.source.levels}, "
+                    f"measure {self.source.source_aggregate!r})"
+                )
+
+    def run(self) -> List[QueryResult]:
+        """Execute the operator; returns per-query results in input order."""
+        ctx = self.ctx
+        # Step 1: per-query result bitmaps, then OR them into one probe set.
+        per_query = [
+            query_result_bitmap(ctx, self.source, q) for q in self.queries
+        ]
+        union = per_query[0].copy()
+        for bitmap in per_query[1:]:
+            union.words |= bitmap.words
+        if len(per_query) > 1:
+            ctx.stats.charge_bitmap_words(union.n_words * (len(per_query) - 1))
+        # Step 2: probe the base table once with the union bitmap.
+        positions = union.positions()
+        keys, measures = _probe_and_collect(ctx, self.source, positions)
+        # Step 3: "Filter tuples" — route each tuple to the queries whose own
+        # bitmap has its position set.  Step 4: per-query aggregation.
+        rollups = RollupCache(
+            ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
+        )
+        results: List[QueryResult] = []
+        for query, bitmap in zip(self.queries, per_query):
+            ctx.stats.charge_bitmap_test(positions.size)
+            mine = bitmap.to_bool_array()[positions] if positions.size else (
+                np.empty(0, dtype=bool)
+            )
+            pipeline = QueryPipeline(
+                ctx.schema,
+                query,
+                self.source.levels,
+                rollups,
+                source_aggregate=self.source.source_aggregate,
+            )
+            pipeline.process_batch(
+                [col[mine] for col in keys], measures[mine], ctx.stats
+            )
+            results.append(pipeline.result())
+        return results

@@ -1,0 +1,68 @@
+"""Query results: aggregated groups keyed by member-id tuples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...schema.query import GroupByQuery
+from ...schema.star import StarSchema
+
+GroupKey = Tuple[int, ...]  # one member id per dimension (ALL dims carry 0)
+
+
+@dataclass
+class QueryResult:
+    """The answer to one group-by query.
+
+    ``groups`` maps a member-id tuple (one id per schema dimension, at the
+    query's target level; dimensions aggregated to ALL carry id 0) to the
+    aggregated measure value.
+    """
+
+    query: GroupByQuery
+    groups: Dict[GroupKey, float]
+
+    @property
+    def n_groups(self) -> int:
+        """Number of result groups."""
+        return len(self.groups)
+
+    def value(self, key: GroupKey) -> float:
+        """The aggregated value of one group key."""
+        return self.groups[key]
+
+    def total(self) -> float:
+        """Sum of all group values (useful for SUM/COUNT sanity checks)."""
+        return sum(self.groups.values())
+
+    def to_named_rows(self, schema: StarSchema) -> List[Tuple[Tuple[str, ...], float]]:
+        """Rows with member names instead of ids, sorted for display.
+
+        Dimensions aggregated to ALL are omitted from the name tuple.
+        """
+        levels = self.query.groupby.levels
+        rows: List[Tuple[Tuple[str, ...], float]] = []
+        for key, value in self.groups.items():
+            names = tuple(
+                dim.member_name(level, member)
+                for dim, level, member in zip(schema.dimensions, levels, key)
+                if level != dim.all_level
+            )
+            rows.append((names, value))
+        rows.sort(key=lambda item: item[0])
+        return rows
+
+    def approx_equals(self, other: "QueryResult", rel_tol: float = 1e-9) -> bool:
+        """Same groups with numerically equal values (order-insensitive)."""
+        if set(self.groups) != set(other.groups):
+            return False
+        for key, value in self.groups.items():
+            other_value = other.groups[key]
+            scale = max(abs(value), abs(other_value), 1.0)
+            if abs(value - other_value) > rel_tol * scale:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult({self.query.display_name()}, {self.n_groups} groups)"

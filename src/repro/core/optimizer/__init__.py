@@ -1,0 +1,60 @@
+"""Multi-query optimizers: TPLO, ETPLG, GG (the paper's three algorithms),
+plus the exhaustive optimal planner and a no-sharing naive baseline."""
+
+from typing import TYPE_CHECKING, Dict, Type
+
+from .base import Optimizer, build_plan_class
+from .bgg import BGGOptimizer
+from .cost import ClassCosting, CostModel
+from .dp import DPOptimalOptimizer
+from .etplg import ETPLGOptimizer
+from .gg import GGOptimizer
+from .naive import NaiveOptimizer
+from .optimal import ExhaustiveOptimizer
+from .plans import GlobalPlan, JoinMethod, LocalPlan, PlanClass
+from .tplo import TPLOOptimizer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...engine.database import Database
+
+OPTIMIZERS: Dict[str, Type[Optimizer]] = {
+    "naive": NaiveOptimizer,
+    "tplo": TPLOOptimizer,
+    "etplg": ETPLGOptimizer,
+    "gg": GGOptimizer,
+    "bgg": BGGOptimizer,
+    "optimal": ExhaustiveOptimizer,
+    "dp": DPOptimalOptimizer,
+}
+
+
+def make_optimizer(name: str, db: "Database") -> Optimizer:
+    """Instantiate an optimizer by its registry name."""
+    try:
+        cls = OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; choose from {sorted(OPTIMIZERS)}"
+        ) from None
+    return cls(db)
+
+
+__all__ = [
+    "BGGOptimizer",
+    "ClassCosting",
+    "CostModel",
+    "DPOptimalOptimizer",
+    "ETPLGOptimizer",
+    "ExhaustiveOptimizer",
+    "GGOptimizer",
+    "GlobalPlan",
+    "JoinMethod",
+    "LocalPlan",
+    "NaiveOptimizer",
+    "OPTIMIZERS",
+    "Optimizer",
+    "PlanClass",
+    "TPLOOptimizer",
+    "build_plan_class",
+    "make_optimizer",
+]

@@ -1,0 +1,81 @@
+"""Shared optimizer scaffolding."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ...schema.query import GroupByQuery
+from ...storage.catalog import TableEntry
+from .cost import CostModel
+from .plans import GlobalPlan, LocalPlan, PlanClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...engine.database import Database
+
+
+def build_plan_class(
+    model: CostModel, entry: TableEntry, queries: Sequence[GroupByQuery]
+) -> PlanClass:
+    """Materialize a :class:`PlanClass` from the model's best costing of
+    ``queries`` on ``entry``, including per-plan standalone and marginal
+    estimates (the paper's ``CostOfUsing``)."""
+    costing = model.plan_class(entry, queries)
+    if costing is None:
+        raise ValueError(
+            f"class on {entry.name!r} cannot answer all of its queries"
+        )
+    plans: List[LocalPlan] = []
+    for i, (query, method) in enumerate(zip(queries, costing.methods)):
+        standalone = model.standalone(entry, query)
+        others = [q for j, q in enumerate(queries) if j != i]
+        if others:
+            rest = model.plan_class(entry, others)
+            marginal = costing.cost_ms - (rest.cost_ms if rest else 0.0)
+        else:
+            marginal = costing.cost_ms
+        plans.append(
+            LocalPlan(
+                query=query,
+                source=entry.name,
+                method=method,
+                est_standalone_ms=standalone[1] if standalone else 0.0,
+                est_marginal_ms=marginal,
+            )
+        )
+    return PlanClass(source=entry.name, plans=plans, est_cost_ms=costing.cost_ms)
+
+
+class Optimizer(ABC):
+    """Base class: holds the database handle and a cost model over its
+    catalog."""
+
+    name: str = "base"
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self.model = CostModel(
+            db.schema,
+            db.catalog,
+            db.stats.rates,
+            statistics=getattr(db, "table_statistics", None),
+            dim_tables=getattr(db, "dimension_tables", None),
+        )
+
+    def entries(self) -> List[TableEntry]:
+        """All registered entries, in registration order."""
+        return self.db.catalog.entries()
+
+    @abstractmethod
+    def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:
+        """Produce a global plan covering ``queries``."""
+
+    def _check_input(self, queries: Sequence[GroupByQuery]) -> List[GroupByQuery]:
+        if not queries:
+            raise ValueError("nothing to optimize: no queries given")
+        qids = [q.qid for q in queries]
+        if len(set(qids)) != len(qids):
+            raise ValueError("duplicate query objects in the input")
+        for query in queries:
+            query.validate(self.db.schema)
+        return list(queries)

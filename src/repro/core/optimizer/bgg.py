@@ -1,0 +1,66 @@
+"""Bounded Global Greedy (BGG) — the paper's future-work direction.
+
+Section 8 observes that "in terms of the number of global plans searched,
+GG dominates ETPLG and ETPLG dominates TPLO … this comes at a price", and
+asks for "new algorithms that have both better time and space performance".
+
+BGG is such a point on the trade-off curve: it runs GG's loop, but when a
+class considers switching its shared base table to admit a new query, it
+costs only a *bounded candidate set* instead of the whole catalog:
+
+* the class's current base table (ETPLG's only option), and
+* the ``beam`` cheapest standalone sources for the incoming query.
+
+With ``beam = 0`` BGG degenerates to ETPLG (no rebasing); with ``beam >=``
+the catalog size it is exactly GG.  The planning-effort ablation benchmark
+places it between the two on search effort while matching GG's plan quality
+on the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...schema.query import GroupByQuery, query_sort_key
+from ...storage.catalog import TableEntry
+from .gg import GGOptimizer, _Class
+
+
+class BGGOptimizer(GGOptimizer):
+    """Global Greedy with a beam-bounded rebase candidate set."""
+
+    name = "bgg"
+
+    def __init__(self, db, sort_key=query_sort_key, beam: int = 2):
+        super().__init__(db, sort_key=sort_key)
+        if beam < 0:
+            raise ValueError("beam cannot be negative")
+        self.beam = beam
+
+    def _rebase_candidates(
+        self, cls: _Class, query: GroupByQuery
+    ) -> List[TableEntry]:
+        """The bounded candidate set: current base + the query's ``beam``
+        cheapest standalone sources."""
+        candidates = {cls.entry.name: cls.entry}
+        scored: List[Tuple[float, TableEntry]] = []
+        for entry in self.entries():
+            result = self.model.standalone(entry, query)
+            if result is not None:
+                scored.append((result[1], entry))
+        scored.sort(key=lambda item: (item[0], item[1].name))
+        for _cost, entry in scored[: self.beam]:
+            candidates[entry.name] = entry
+        return list(candidates.values())
+
+    def _best_rebase(
+        self, cls: _Class, query: GroupByQuery
+    ) -> Optional[Tuple[TableEntry, float]]:
+        best: Optional[Tuple[TableEntry, float]] = None
+        for entry in self._rebase_candidates(cls, query):
+            costing = self.model.plan_class(entry, cls.queries + [query])
+            if costing is None:
+                continue
+            if best is None or costing.cost_ms < best[1]:
+                best = (entry, costing.cost_ms)
+        return best

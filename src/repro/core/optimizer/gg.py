@@ -1,0 +1,134 @@
+"""Global Greedy (GG), Section 6.
+
+Like ETPLG, GG grows the global plan one query at a time; the difference is
+that a class may *change its shared base table* to admit the new query.  For
+each existing class the algorithm finds the base table ``S'`` minimizing the
+aggregate cost of the class plus the new query (``CostOfAdd``); if joining
+the cheapest class beats opening a new class on the best unused table, the
+query is added — re-planning every member on ``S'`` when the base switched —
+and classes that end up on the same base table are merged (``MergeClass``).
+
+This is what lets GG trade expensive I/O for cheap CPU, e.g. computing a
+query from a *larger-than-locally-optimal* table whose scan is already paid
+for (the paper's Example 2 and its Tests 4–5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ...schema.query import GroupByQuery, query_sort_key
+from ...storage.catalog import TableEntry
+from .base import Optimizer, build_plan_class
+from .plans import GlobalPlan
+
+
+@dataclass
+class _Class:
+    entry: TableEntry
+    queries: List[GroupByQuery] = field(default_factory=list)
+
+
+class GGOptimizer(Optimizer):
+    """Greedy class growth with mutable class base tables.
+
+    ``sort_key`` overrides the processing order (default: the paper's
+    "Sort G by GroupbyLevel") — exposed for ablation studies.
+    """
+
+    name = "gg"
+
+    def __init__(self, db, sort_key=query_sort_key):
+        super().__init__(db)
+        self.sort_key = sort_key
+
+    def _best_rebase(
+        self, cls: _Class, query: GroupByQuery
+    ) -> Optional[Tuple[TableEntry, float]]:
+        """The base table S' minimizing Cost(Class ∪ {query} | S'), over
+        every catalog entry able to answer all member queries plus the new
+        one.  Returns (S', aggregate cost) or None."""
+        best: Optional[Tuple[TableEntry, float]] = None
+        for entry in self.entries():
+            costing = self.model.plan_class(entry, cls.queries + [query])
+            if costing is None:
+                continue
+            if best is None or costing.cost_ms < best[1]:
+                best = (entry, costing.cost_ms)
+        return best
+
+    def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:
+        """Produce a global plan covering ``queries`` (see class docstring)."""
+        queries = self._check_input(queries)
+        ordered = sorted(queries, key=self.sort_key)
+        classes: List[_Class] = []
+        used: Set[str] = set()
+        for query in ordered:
+            # Best unused materialized group-by N (the MSet).
+            unused = [e for e in self.entries() if e.name not in used]
+            n_entry: Optional[TableEntry] = None
+            n_cost = float("inf")
+            if unused:
+                try:
+                    n_entry, _method, n_cost = self.model.best_local(
+                        query, unused
+                    )
+                except ValueError:
+                    n_entry = None
+            # Cheapest class to add the query to, allowing a base switch.
+            best_class: Optional[_Class] = None
+            best_rebase: Optional[Tuple[TableEntry, float]] = None
+            best_cost_of_add = float("inf")
+            for cls in classes:
+                rebase = self._best_rebase(cls, query)
+                if rebase is None:
+                    continue
+                current = self.model.plan_class(cls.entry, cls.queries)
+                assert current is not None
+                cost_of_add = rebase[1] - current.cost_ms
+                if cost_of_add < best_cost_of_add:
+                    best_cost_of_add = cost_of_add
+                    best_class = cls
+                    best_rebase = rebase
+            if best_class is None or (
+                n_entry is not None and n_cost < best_cost_of_add
+            ):
+                if n_entry is None:
+                    raise ValueError(
+                        f"no table can answer {query.display_name()}"
+                    )
+                classes.append(_Class(entry=n_entry, queries=[query]))
+                used.add(n_entry.name)
+            else:
+                assert best_rebase is not None
+                new_entry = best_rebase[0]
+                if new_entry.name != best_class.entry.name:
+                    # SharedSet = SharedSet - S + S'.
+                    used.discard(best_class.entry.name)
+                    used.add(new_entry.name)
+                    best_class.entry = new_entry
+                best_class.queries.append(query)
+                classes = self._merge_classes(classes)
+        plan = GlobalPlan(algorithm=self.name)
+        for cls in classes:
+            plan.classes.append(
+                build_plan_class(self.model, cls.entry, cls.queries)
+            )
+        plan.validate(queries)
+        return plan
+
+    @staticmethod
+    def _merge_classes(classes: List[_Class]) -> List[_Class]:
+        """The paper's MergeClass(): classes sharing a base table become one,
+        preventing repeated I/O on the same table."""
+        merged: List[_Class] = []
+        by_name = {}
+        for cls in classes:
+            existing = by_name.get(cls.entry.name)
+            if existing is None:
+                by_name[cls.entry.name] = cls
+                merged.append(cls)
+            else:
+                existing.queries.extend(cls.queries)
+        return merged

@@ -1,0 +1,78 @@
+"""Exhaustive global-optimal planner.
+
+The paper's Tables 2 compare each algorithm against "the optimal global
+plan … found by exploring all possible query plans".  This optimizer does
+that: it enumerates every assignment of queries to candidate base tables,
+costs each induced set of classes (join methods chosen optimally per class
+by the cost model), and keeps the cheapest.  Exponential in the number of
+queries — usable for the paper-sized workloads it exists to check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import prod
+from typing import List, Sequence
+
+from ...schema.query import GroupByQuery
+from ...storage.catalog import TableEntry
+from .base import Optimizer, build_plan_class
+from .plans import GlobalPlan
+
+#: Refuse to enumerate beyond this many assignments.
+MAX_ASSIGNMENTS = 500_000
+
+
+class ExhaustiveOptimizer(Optimizer):
+    """Try every query→base-table assignment; keep the cheapest plan."""
+
+    name = "optimal"
+
+    def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:
+        """Produce a global plan covering ``queries`` (see class docstring)."""
+        queries = self._check_input(queries)
+        candidates: List[List[TableEntry]] = []
+        for query in queries:
+            usable = [
+                entry
+                for entry in self.entries()
+                if self.model.standalone(entry, query) is not None
+            ]
+            if not usable:
+                raise ValueError(
+                    f"no table can answer {query.display_name()}"
+                )
+            candidates.append(usable)
+        n_assignments = prod(len(c) for c in candidates)
+        if n_assignments > MAX_ASSIGNMENTS:
+            raise ValueError(
+                f"{n_assignments} assignments exceed the exhaustive search "
+                f"budget ({MAX_ASSIGNMENTS}); use gg/etplg for workloads "
+                f"this large"
+            )
+        best_cost = float("inf")
+        best_assignment = None
+        for assignment in itertools.product(*candidates):
+            by_source = {}
+            for query, entry in zip(queries, assignment):
+                by_source.setdefault(entry.name, (entry, []))[1].append(query)
+            total = 0.0
+            feasible = True
+            for entry, group in by_source.values():
+                costing = self.model.plan_class(entry, group)
+                if costing is None:
+                    feasible = False
+                    break
+                total += costing.cost_ms
+            if feasible and total < best_cost:
+                best_cost = total
+                best_assignment = assignment
+        assert best_assignment is not None
+        by_source = {}
+        for query, entry in zip(queries, best_assignment):
+            by_source.setdefault(entry.name, (entry, []))[1].append(query)
+        plan = GlobalPlan(algorithm=self.name)
+        for entry, group in by_source.values():
+            plan.classes.append(build_plan_class(self.model, entry, group))
+        plan.validate(queries)
+        return plan

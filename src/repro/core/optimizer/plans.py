@@ -1,0 +1,190 @@
+"""Plan representation: local plans, shared-base-table classes, global plans.
+
+Terminology follows the paper:
+
+* a **local plan** evaluates one query from one materialized group-by (its
+  *base table*) with one star-join method;
+* a **class** (Sections 5–6) is a set of local plans sharing one base table —
+  the unit the shared operators of Section 3 execute together;
+* a **global plan** is the set of classes covering every query of the MDX
+  expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from ...schema.query import GroupByQuery
+from ...schema.star import StarSchema
+
+
+class JoinMethod(Enum):
+    """The two star-join methods the paper considers."""
+
+    HASH = "hash-based SJ"
+    INDEX = "index-based SJ"
+
+
+@dataclass(frozen=True)
+class LocalPlan:
+    """One query evaluated from one base table with one join method.
+
+    ``est_standalone_ms`` is the estimated cost of running this plan alone;
+    ``est_marginal_ms`` the estimated extra cost of running it inside its
+    class (shared I/O excluded) — the quantity the paper calls
+    ``CostOfUsing`` a shared base table.
+    """
+
+    query: GroupByQuery
+    source: str
+    method: JoinMethod
+    est_standalone_ms: float = 0.0
+    est_marginal_ms: float = 0.0
+
+    def describe(self, schema: StarSchema) -> str:
+        """Human-readable one-line/short rendering for display."""
+        target = self.query.groupby.name(schema)
+        return (
+            f"({target} ⇒ {self.source}) [{self.method.value}]"
+            f"  // {self.query.display_name()}"
+        )
+
+
+@dataclass
+class PlanClass:
+    """A set of local plans sharing one base table."""
+
+    source: str
+    plans: List[LocalPlan] = field(default_factory=list)
+    est_cost_ms: float = 0.0
+
+    @property
+    def queries(self) -> List[GroupByQuery]:
+        """The queries this object covers, in plan order."""
+        return [plan.query for plan in self.plans]
+
+    @property
+    def methods(self) -> List[JoinMethod]:
+        """Per-plan join methods, aligned with ``plans``."""
+        return [plan.method for plan in self.plans]
+
+    @property
+    def is_pure_hash(self) -> bool:
+        """True when every plan in the class is a hash join."""
+        return all(p.method is JoinMethod.HASH for p in self.plans)
+
+    @property
+    def is_pure_index(self) -> bool:
+        """True when every plan in the class is an index join."""
+        return all(p.method is JoinMethod.INDEX for p in self.plans)
+
+    def describe(self, schema: StarSchema) -> str:
+        """Human-readable one-line/short rendering for display."""
+        lines = [
+            f"Class[{self.source}]  est={self.est_cost_ms:.1f} sim-ms"
+        ]
+        lines.extend("  " + plan.describe(schema) for plan in self.plans)
+        return "\n".join(lines)
+
+
+@dataclass
+class GlobalPlan:
+    """The full plan for one multi-query optimization problem."""
+
+    algorithm: str
+    classes: List[PlanClass] = field(default_factory=list)
+    #: Planning-effort metadata attached by Database.optimize:
+    #: {"plan_costings": int, "planning_s": float}.
+    search_stats: dict = field(default_factory=dict)
+
+    @property
+    def est_cost_ms(self) -> float:
+        """Model-estimated cost in simulated milliseconds."""
+        return sum(cls.est_cost_ms for cls in self.classes)
+
+    @property
+    def queries(self) -> List[GroupByQuery]:
+        """The queries this object covers, in plan order."""
+        return [plan.query for cls in self.classes for plan in cls.plans]
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries the plan covers."""
+        return sum(len(cls.plans) for cls in self.classes)
+
+    def plan_for(self, query: GroupByQuery) -> LocalPlan:
+        """The local plan of one query (KeyError if absent)."""
+        for cls in self.classes:
+            for plan in cls.plans:
+                if plan.query.qid == query.qid:
+                    return plan
+        raise KeyError(f"no plan for {query.display_name()}")
+
+    def sources_used(self) -> List[str]:
+        """Sorted distinct base-table names the plan reads."""
+        return sorted({cls.source for cls in self.classes})
+
+    def explain(self, schema: StarSchema) -> str:
+        """Pretty-print in the paper's plan notation."""
+        lines = [
+            f"GlobalPlan[{self.algorithm}]  "
+            f"{self.n_queries} queries in {len(self.classes)} class(es), "
+            f"estimated {self.est_cost_ms:.1f} sim-ms"
+        ]
+        for cls in self.classes:
+            lines.append(cls.describe(schema))
+        return "\n".join(lines)
+
+    def to_dict(self, schema: StarSchema) -> dict:
+        """A JSON-serializable rendering of the plan, for tooling."""
+        return {
+            "algorithm": self.algorithm,
+            "est_cost_ms": round(self.est_cost_ms, 3),
+            "search_stats": dict(self.search_stats),
+            "classes": [
+                {
+                    "source": cls.source,
+                    "est_cost_ms": round(cls.est_cost_ms, 3),
+                    "plans": [
+                        {
+                            "query": plan.query.display_name(),
+                            "groupby": plan.query.groupby.name(schema),
+                            "method": plan.method.value,
+                            "est_standalone_ms": round(
+                                plan.est_standalone_ms, 3
+                            ),
+                            "est_marginal_ms": round(plan.est_marginal_ms, 3),
+                        }
+                        for plan in cls.plans
+                    ],
+                }
+                for cls in self.classes
+            ],
+        }
+
+    def validate(
+        self,
+        queries: Sequence[GroupByQuery],
+        allow_duplicate_sources: bool = False,
+    ) -> None:
+        """Check the plan covers exactly the given queries, once each.
+
+        Merging algorithms must not leave two classes on the same base table;
+        the deliberately-unmerged naive baseline passes
+        ``allow_duplicate_sources=True``.
+        """
+        planned = sorted(q.qid for q in self.queries)
+        asked = sorted(q.qid for q in queries)
+        if planned != asked:
+            raise ValueError(
+                f"plan covers query ids {planned}, expected {asked}"
+            )
+        if not allow_duplicate_sources:
+            seen_sources = [cls.source for cls in self.classes]
+            if len(seen_sources) != len(set(seen_sources)):
+                raise ValueError(
+                    f"two classes share a base table: {seen_sources} "
+                    f"(they should have been merged)"
+                )

@@ -1,0 +1,124 @@
+"""Loading fact data from CSV files.
+
+Real fact feeds carry *member names* ("Venkatrao", "Tokyo", "Mar"), not the
+engine's dense ids.  ``load_csv`` maps name columns to leaf-level member
+ids through the schema's hierarchies (a value naming a coarser member is
+rejected with a precise error — facts must arrive at the grain of the base
+table), parses the measure, and either loads a new base table or appends to
+an existing one through the incremental-maintenance path.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..schema.star import StarSchema
+from ..storage.page import Row
+
+
+class CsvLoadError(ValueError):
+    """A row that cannot be mapped onto the schema, with line context."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def rows_from_csv(
+    schema: StarSchema,
+    path: str | Path,
+    dimension_columns: Optional[Dict[str, str]] = None,
+    measure_column: Optional[str] = None,
+) -> List[Row]:
+    """Parse a CSV file into fact rows.
+
+    ``dimension_columns`` maps dimension names to CSV column names (default:
+    same names); ``measure_column`` defaults to the schema's measure name.
+    Every dimension value must name a *leaf-level* member.
+    """
+    if dimension_columns is None:
+        dimension_columns = {d.name: d.name for d in schema.dimensions}
+    measure_column = measure_column or schema.measure
+    missing_dims = [
+        d.name for d in schema.dimensions if d.name not in dimension_columns
+    ]
+    if missing_dims:
+        raise ValueError(
+            f"dimension_columns lacks a mapping for {missing_dims}"
+        )
+
+    rows: List[Row] = []
+    with Path(path).open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path} has no header row")
+        header = set(reader.fieldnames)
+        wanted = set(dimension_columns.values()) | {measure_column}
+        absent = sorted(wanted - header)
+        if absent:
+            raise ValueError(
+                f"{path} is missing column(s) {absent}; header has "
+                f"{sorted(header)}"
+            )
+        for line, record in enumerate(reader, start=2):
+            keys: List[int] = []
+            for dim in schema.dimensions:
+                column = dimension_columns[dim.name]
+                name = (record[column] or "").strip()
+                if not name:
+                    raise CsvLoadError(
+                        f"empty value in column {column!r}", line
+                    )
+                if not dim.has_member(name):
+                    raise CsvLoadError(
+                        f"{name!r} is not a member of dimension "
+                        f"{dim.name!r}", line,
+                    )
+                level, member = dim.find_member(name)
+                if level != 0:
+                    raise CsvLoadError(
+                        f"{name!r} is a {dim.level_name(level)}-level "
+                        f"member; facts must name leaf-level "
+                        f"({dim.level_name(0)}) members", line,
+                    )
+                keys.append(member)
+            raw = (record[measure_column] or "").strip()
+            try:
+                measure = float(raw)
+            except ValueError:
+                raise CsvLoadError(
+                    f"cannot parse measure {raw!r} in column "
+                    f"{measure_column!r}", line,
+                ) from None
+            rows.append(tuple(keys) + (measure,))
+    return rows
+
+
+def load_csv(
+    db,
+    path: str | Path,
+    table_name: Optional[str] = None,
+    dimension_columns: Optional[Dict[str, str]] = None,
+    measure_column: Optional[str] = None,
+    append: bool = False,
+) -> int:
+    """Load a CSV fact feed into ``db``.
+
+    With ``append=False`` (default) a new base table is created
+    (``table_name`` defaults to the schema's group-by notation); with
+    ``append=True`` the rows go through :meth:`Database.append_rows`, so
+    existing views and indexes are maintained incrementally.
+    Returns the number of rows loaded.
+    """
+    rows = rows_from_csv(
+        db.schema, path,
+        dimension_columns=dimension_columns,
+        measure_column=measure_column,
+    )
+    if append:
+        db.append_rows(rows)
+    else:
+        db.load_base(rows, name=table_name)
+    return len(rows)

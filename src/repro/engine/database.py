@@ -1,0 +1,308 @@
+"""The user-facing database facade.
+
+A :class:`Database` owns the catalog, the buffer pool, and the simulated cost
+clock, and exposes the full workflow of the paper:
+
+1. load a base fact table (:meth:`load_base`),
+2. precompute materialized group-bys (:meth:`materialize`),
+3. build star-join bitmap indexes (:meth:`create_bitmap_index`),
+4. optimize a set of dimensional queries with TPLO / ETPLG / GG / optimal
+   (:meth:`optimize`),
+5. execute the resulting global plan with the shared operators
+   (:meth:`execute` / :meth:`run_queries` / :meth:`run_mdx`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.operators.pipeline import ExecContext
+from ..schema.query import GroupByQuery
+from ..schema.star import StarSchema
+from ..storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from ..storage.catalog import Catalog, TableEntry
+from ..storage.iostats import DEFAULT_RATES, CostRates, IOStats
+from ..storage.page import DEFAULT_PAGE_SIZE, Row
+from ..storage.table import HeapTable
+from .materialize import build_groupby_table, pick_materialization_source
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.executor import ExecutionReport
+    from ..core.optimizer.plans import GlobalPlan
+
+LevelsLike = Union[str, Sequence[int]]
+
+
+class Database:
+    """An in-process ROLAP engine over one star schema."""
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pages: int = DEFAULT_POOL_PAGES,
+        rates: Optional[CostRates] = None,
+    ):
+        self.schema = schema
+        self.page_size = page_size
+        self.stats = IOStats(rates=rates or DEFAULT_RATES)
+        self.pool = BufferPool(self.stats, capacity_pages=buffer_pages)
+        self.catalog = Catalog()
+        #: ANALYZE output per table (see :meth:`analyze`); empty means the
+        #: cost model falls back to uniform selectivity estimates.
+        self.table_statistics: dict = {}
+        #: Stored dimension tables (see :meth:`store_dimension_tables`);
+        #: empty means dimension hash builds charge CPU only.
+        self.dimension_tables: dict = {}
+
+    # -- loading and precomputation -------------------------------------------
+
+    def _resolve_levels(self, levels: LevelsLike) -> Tuple[int, ...]:
+        if isinstance(levels, str):
+            return self.schema.parse_groupby_name(levels)
+        return self.schema.check_levels(levels)
+
+    def load_base(
+        self, rows: Iterable[Row], name: Optional[str] = None
+    ) -> TableEntry:
+        """Create and load the lowest-level (LL) base table."""
+        base_levels = self.schema.base_levels()
+        if name is None:
+            name = self.schema.groupby_name(base_levels)
+        columns = [dim.name for dim in self.schema.dimensions]
+        columns.append(self.schema.measure)
+        table = HeapTable(name, columns, page_size=self.page_size)
+        table.extend(rows)
+        return self.catalog.register(table, base_levels)
+
+    def materialize(
+        self,
+        levels: LevelsLike,
+        name: Optional[str] = None,
+        aggregate: "Aggregate | None" = None,
+    ) -> TableEntry:
+        """Precompute one group-by from the cheapest compatible table.
+
+        ``aggregate`` defaults to SUM.  The resulting view can only answer
+        queries with the same aggregate (raw base data answers anything);
+        the catalog records this and the optimizers respect it.
+
+        Offline precomputation: not charged to the query cost clock.
+        """
+        from ..schema.query import Aggregate
+
+        if aggregate is None:
+            aggregate = Aggregate.SUM
+        target = self._resolve_levels(levels)
+        if name is None:
+            name = self.schema.groupby_name(target)
+            if aggregate is not Aggregate.SUM:
+                name = f"{name}[{aggregate.value}]"
+        source = pick_materialization_source(
+            self.schema, self.catalog.entries(), target, aggregate
+        )
+        table = build_groupby_table(
+            self.schema, source, target, name, self.page_size,
+            aggregate=aggregate,
+        )
+        return self.catalog.register(
+            table, target, clustered=True, source_aggregate=aggregate.value
+        )
+
+    def store_dimension_tables(self) -> dict:
+        """Materialize every dimension as a stored table (one row per leaf
+        member carrying its ancestors at each level).
+
+        Afterwards, building a dimension hash structure during query
+        evaluation charges a sequential scan of the dimension table — the
+        full cost of the paper's "building a hash table on each dimension
+        table" — which the shared operators then amortize across a class.
+        """
+        for dim in self.schema.dimensions:
+            if dim.name in self.dimension_tables:
+                continue
+            columns = [dim.level_name(depth) for depth in range(dim.n_levels)]
+            table = HeapTable(
+                f"{dim.name}dim", columns, page_size=self.page_size
+            )
+            n_leaves = dim.n_members(0)
+            for leaf in range(n_leaves):
+                row = [leaf]
+                for depth in range(1, dim.n_levels):
+                    row.append(dim.rollup(0, depth, leaf))
+                table.append(tuple(row))
+            self.dimension_tables[dim.name] = table
+        return self.dimension_tables
+
+    def analyze(self, table_names: Optional[Sequence[str]] = None) -> dict:
+        """Collect measured dimension-key frequencies (ANALYZE); the cost
+        model then prices predicates by measured selectivity for analyzed
+        tables (see :mod:`repro.engine.statistics`)."""
+        from .statistics import analyze
+
+        return analyze(self, table_names)
+
+    def append_rows(self, rows: Iterable[Row]) -> dict:
+        """Append fact rows to the base table and incrementally maintain
+        every materialized group-by and join index (see
+        :mod:`repro.engine.maintenance`)."""
+        from .maintenance import append_rows
+
+        return append_rows(self, rows)
+
+    def create_bitmap_index(
+        self,
+        table_name: str,
+        dim_name: str,
+        level: Optional[Union[int, str]] = None,
+        kind: str = "bitmap",
+    ):
+        """Build a star-join index on one dimension attribute of a table.
+
+        ``level`` defaults to the level the table stores for that dimension
+        (the finest indexable level).  ``kind`` is ``"bitmap"`` or
+        ``"btree"`` (position-list payload).
+        """
+        from ..index.bitmap_index import BitmapJoinIndex
+        from ..index.btree import PositionListJoinIndex
+
+        entry = self.catalog.get(table_name)
+        dim_index = self.schema.dim_index(dim_name)
+        dim = self.schema.dimensions[dim_index]
+        stored = entry.levels[dim_index]
+        if stored == dim.all_level:
+            raise ValueError(
+                f"table {table_name!r} aggregates {dim_name!r} to ALL; "
+                f"nothing to index"
+            )
+        if level is None:
+            depth = stored
+        elif isinstance(level, str):
+            depth = dim.level_depth(level)
+        else:
+            depth = int(level)
+        if not stored <= depth < dim.all_level:
+            raise ValueError(
+                f"index level {depth} must be in [{stored}, {dim.all_level - 1}] "
+                f"for {table_name!r}.{dim_name!r}"
+            )
+        builder = {
+            "bitmap": BitmapJoinIndex,
+            "btree": PositionListJoinIndex,
+        }.get(kind)
+        if builder is None:
+            raise ValueError(f"unknown index kind {kind!r}")
+        index = builder.build(
+            entry.table,
+            table_name,
+            dim_index,
+            depth,
+            column_index=dim_index,
+            key_to_member=dim.rollup_map(stored, depth),
+            n_members=dim.n_members(depth),
+        )
+        entry.add_index(dim_index, depth, index)
+        return index
+
+    def index_all_dimensions(
+        self,
+        table_name: str,
+        dim_names: Optional[Sequence[str]] = None,
+        kind: str = "bitmap",
+    ) -> None:
+        """Build one index per (given) dimension at its stored level."""
+        entry = self.catalog.get(table_name)
+        if dim_names is None:
+            dim_names = [
+                dim.name
+                for dim, lv in zip(self.schema.dimensions, entry.levels)
+                if lv < dim.all_level
+            ]
+        for dim_name in dim_names:
+            self.create_bitmap_index(table_name, dim_name, kind=kind)
+
+    # -- execution --------------------------------------------------------------
+
+    def ctx(self) -> ExecContext:
+        """An ExecContext over this database's catalog, pool, and clock."""
+        return ExecContext(
+            schema=self.schema,
+            catalog=self.catalog,
+            pool=self.pool,
+            stats=self.stats,
+            dim_tables=self.dimension_tables or None,
+        )
+
+    def flush(self) -> None:
+        """Drop all cached pages — the paper's cold-start discipline."""
+        self.pool.flush()
+
+    def reset_stats(self) -> None:
+        """Zero the simulated cost counters."""
+        self.stats.reset()
+
+    def optimize(
+        self, queries: Sequence[GroupByQuery], algorithm: str = "gg"
+    ) -> "GlobalPlan":
+        """Build a global plan with one of the paper's algorithms
+        (``naive``, ``tplo``, ``etplg``, ``gg``, ``optimal``).
+
+        The returned plan carries ``search_stats`` (class costings
+        performed, planning wall time) for studying the planning-effort
+        trade-off the paper's Section 8 raises.
+        """
+        import time as _time
+
+        from ..core.optimizer import make_optimizer
+
+        optimizer = make_optimizer(algorithm, self)
+        started = _time.perf_counter()
+        plan = optimizer.optimize(list(queries))
+        plan.search_stats = {
+            "plan_costings": optimizer.model.n_plan_costings,
+            "planning_s": _time.perf_counter() - started,
+        }
+        return plan
+
+    def execute(self, plan: "GlobalPlan", cold: bool = True) -> "ExecutionReport":
+        """Execute a global plan; ``cold`` flushes the pool per class, as the
+        paper flushed buffers before each measured run."""
+        from ..core.executor import execute_plan
+
+        return execute_plan(self, plan, cold=cold)
+
+    def run_queries(
+        self,
+        queries: Sequence[GroupByQuery],
+        algorithm: str = "gg",
+        cold: bool = True,
+    ) -> "ExecutionReport":
+        """Optimize + execute in one call."""
+        return self.execute(self.optimize(queries, algorithm), cold=cold)
+
+    def run_mdx(
+        self, text: str, algorithm: str = "gg", cold: bool = True
+    ) -> "ExecutionReport":
+        """Parse an MDX expression, split it into its component group-by
+        queries, optimize them as a unit, and execute."""
+        from ..mdx import translate_mdx
+
+        queries = translate_mdx(self.schema, text)
+        return self.run_queries(queries, algorithm=algorithm, cold=cold)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def table_report(self) -> List[Tuple[str, int, int]]:
+        """(name, rows, pages) for every registered table, largest first."""
+        rows = [
+            (entry.name, entry.n_rows, entry.n_pages)
+            for entry in self.catalog.entries()
+        ]
+        rows.sort(key=lambda item: (-item[1], item[0]))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database(schema={self.schema.name!r}, "
+            f"tables={self.catalog.names()})"
+        )

@@ -1,0 +1,148 @@
+"""OLAP navigation: drill-down, roll-up, and slice derived from a query.
+
+The interactive idiom the paper's MDX front end serves: a user looks at a
+result, picks a member, and asks for the next finer (or coarser) view.
+These helpers derive the follow-up :class:`GroupByQuery` from the current
+one, so a client can navigate without rebuilding queries by hand — and the
+follow-ups flow through the same multi-query optimizer (batch several
+navigation steps in a :class:`~repro.engine.session.QuerySession` to share
+their evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..schema.query import DimPredicate, GroupBy, GroupByQuery
+from ..schema.star import StarSchema
+
+
+class NavigationError(ValueError):
+    """The requested navigation step does not exist (e.g. drilling below
+    the leaf level)."""
+
+
+def _replace_dim_predicates(
+    query: GroupByQuery,
+    dim_index: int,
+    new_predicate: Optional[DimPredicate],
+) -> tuple:
+    kept = tuple(
+        p for p in query.predicates if p.dim_index != dim_index
+    )
+    if new_predicate is not None:
+        kept = kept + (new_predicate,)
+    return tuple(sorted(kept, key=lambda p: (p.dim_index, p.level)))
+
+
+def drill_down(
+    schema: StarSchema,
+    query: GroupByQuery,
+    dim_name: str,
+    member_name: Optional[str] = None,
+    label: str = "",
+) -> GroupByQuery:
+    """One level finer on ``dim_name``.
+
+    With ``member_name`` (a member at the query's current target level),
+    the new query shows that member's children only — the classic
+    double-click.  Without it, the whole level expands (any existing
+    predicate on the dimension is kept as-is).
+    """
+    d = schema.dim_index(dim_name)
+    dim = schema.dimensions[d]
+    level = query.groupby.levels[d]
+    if level == 0:
+        raise NavigationError(
+            f"{dim.name!r} is already at its leaf level {dim.level_name(0)!r}"
+        )
+    new_level = (dim.n_levels - 1) if level == dim.all_level else level - 1
+    levels = list(query.groupby.levels)
+    levels[d] = new_level
+    predicates = query.predicates
+    if member_name is not None:
+        member_level, member = dim.find_member(member_name)
+        if member_level != level:
+            raise NavigationError(
+                f"{member_name!r} is at level "
+                f"{dim.level_name(member_level)!r}, not the query's target "
+                f"level {dim.level_name(level)!r}"
+            )
+        children = frozenset(dim.children(member_level, member))
+        predicates = _replace_dim_predicates(
+            query, d, DimPredicate(d, new_level, children)
+        )
+    return GroupByQuery(
+        groupby=GroupBy(tuple(levels)),
+        predicates=predicates,
+        aggregate=query.aggregate,
+        label=label or f"{query.display_name()}>drill({dim_name})",
+    )
+
+
+def roll_up(
+    schema: StarSchema,
+    query: GroupByQuery,
+    dim_name: str,
+    label: str = "",
+) -> GroupByQuery:
+    """One level coarser on ``dim_name`` (the top level rolls up to ALL).
+
+    Predicates on the dimension at levels finer than the new target are
+    dropped — rolled-up cells aggregate over everything the old view
+    filtered within, matching the usual OLAP roll-up semantics.
+    """
+    d = schema.dim_index(dim_name)
+    dim = schema.dimensions[d]
+    level = query.groupby.levels[d]
+    if level == dim.all_level:
+        raise NavigationError(
+            f"{dim.name!r} is already fully aggregated (ALL)"
+        )
+    new_level = level + 1
+    levels = list(query.groupby.levels)
+    levels[d] = new_level
+    kept = tuple(
+        p
+        for p in query.predicates
+        if p.dim_index != d or p.level >= new_level
+    )
+    return GroupByQuery(
+        groupby=GroupBy(tuple(levels)),
+        predicates=kept,
+        aggregate=query.aggregate,
+        label=label or f"{query.display_name()}>rollup({dim_name})",
+    )
+
+
+def slice_member(
+    schema: StarSchema,
+    query: GroupByQuery,
+    dim_name: str,
+    member_name: str,
+    label: str = "",
+) -> GroupByQuery:
+    """Restrict the query to one member (at that member's own level),
+    replacing any predicates on the dimension at-or-above that level."""
+    d = schema.dim_index(dim_name)
+    dim = schema.dimensions[d]
+    member_level, member = dim.find_member(member_name)
+    kept = tuple(
+        p
+        for p in query.predicates
+        if p.dim_index != d or p.level < member_level
+    )
+    predicates = tuple(
+        sorted(
+            kept + (DimPredicate(d, member_level, frozenset({member})),),
+            key=lambda p: (p.dim_index, p.level),
+        )
+    )
+    levels = list(query.groupby.levels)
+    levels[d] = min(levels[d], member_level)
+    return GroupByQuery(
+        groupby=GroupBy(tuple(levels)),
+        predicates=predicates,
+        aggregate=query.aggregate,
+        label=label or f"{query.display_name()}>slice({member_name})",
+    )

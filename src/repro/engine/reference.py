@@ -1,0 +1,83 @@
+"""Brute-force reference evaluation, for correctness testing only.
+
+Deliberately shares no code with the operator pipelines: plain Python loops,
+per-row hierarchy navigation through :meth:`Dimension.rollup`, and a plain
+dict accumulator.  Every operator and every optimizer's executed plan is
+checked against this in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..core.operators.results import QueryResult
+from ..schema.query import Aggregate, GroupByQuery
+from ..schema.star import StarSchema
+from ..storage.page import Row
+
+
+def evaluate_reference(
+    schema: StarSchema,
+    rows: Iterable[Row],
+    query: GroupByQuery,
+    source_levels: Tuple[int, ...] | None = None,
+    source_aggregate: str | None = None,
+) -> QueryResult:
+    """Evaluate ``query`` over ``rows`` stored at ``source_levels``
+    (default: the base/leaf levels).
+
+    ``source_aggregate`` names the aggregate a view's measure column holds
+    (None for raw data); the fold is adjusted exactly as the engine's
+    pipelines adjust it.
+    """
+    from ..schema.lattice import aggregate_compatible, effective_aggregate
+
+    if source_levels is None:
+        source_levels = schema.base_levels()
+    if not query.answerable_from(source_levels):
+        raise ValueError("query is not answerable from the given source levels")
+    if not aggregate_compatible(query.aggregate, source_aggregate):
+        raise ValueError(
+            "query aggregate is incompatible with the source's measure"
+        )
+    fold = effective_aggregate(query.aggregate, source_aggregate)
+    n_dims = schema.n_dims
+    groups: Dict[Tuple[int, ...], float] = {}
+    counts: Dict[Tuple[int, ...], int] = {}
+    for row in rows:
+        passed = True
+        for pred in query.predicates:
+            d = pred.dim_index
+            dim = schema.dimensions[d]
+            value = dim.rollup(source_levels[d], pred.level, int(row[d]))
+            if value not in pred.member_ids:
+                passed = False
+                break
+        if not passed:
+            continue
+        key = []
+        for d in range(n_dims):
+            dim = schema.dimensions[d]
+            level = query.groupby.levels[d]
+            if level == dim.all_level:
+                key.append(0)
+            else:
+                key.append(dim.rollup(source_levels[d], level, int(row[d])))
+        key = tuple(key)
+        measure = float(row[n_dims])
+        if fold is Aggregate.SUM:
+            groups[key] = groups.get(key, 0.0) + measure
+        elif fold is Aggregate.COUNT:
+            groups[key] = groups.get(key, 0.0) + 1.0
+        elif fold is Aggregate.MIN:
+            groups[key] = min(groups.get(key, measure), measure)
+        elif fold is Aggregate.MAX:
+            groups[key] = max(groups.get(key, measure), measure)
+        elif fold is Aggregate.AVG:
+            groups[key] = groups.get(key, 0.0) + measure
+            counts[key] = counts.get(key, 0) + 1
+        else:  # pragma: no cover - Aggregate is a closed enum
+            raise NotImplementedError(fold)
+    if fold is Aggregate.AVG:
+        groups = {key: total / counts[key] for key, total in groups.items()}
+    return QueryResult(query=query, groups=groups)

@@ -1,0 +1,155 @@
+"""Semantic result caching.
+
+Dashboards re-ask the same dimensional queries; a warehouse front end caches
+results keyed by the query's *semantics* (target group-by + predicates +
+aggregate — the same identity the session deduplicator uses), not its object
+identity.  The cache is invalidated wholesale by base-table appends, since
+any group's value may have changed.
+
+Usage::
+
+    cache = attach_cache(db)
+    db.run_queries([q], "gg")   # miss: executes, caches
+    db.run_queries([q], "gg")   # hit: served from cache, no execution
+    db.append_rows(rows)        # invalidates
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.operators.results import QueryResult
+from ..schema.query import GroupByQuery
+from .session import QueryKey, query_key
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for a ResultCache."""
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses); 0.0 before any access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded semantic cache of query results."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("the cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: Dict[QueryKey, Dict] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, query: GroupByQuery) -> Optional[QueryResult]:
+        """Look an entry up (None/raise per class contract)."""
+        groups = self._entries.get(query_key(query))
+        if groups is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return QueryResult(query=query, groups=dict(groups))
+
+    def put(self, result: QueryResult) -> None:
+        """Insert or replace the entry."""
+        key = query_key(result.query)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            # FIFO eviction: drop the oldest entry.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = dict(result.groups)
+
+    def invalidate(self) -> None:
+        """Drop every cached entry."""
+        if self._entries:
+            self.stats.invalidations += 1
+        self._entries.clear()
+
+
+def attach_cache(db, max_entries: int = 256) -> ResultCache:
+    """Wire a :class:`ResultCache` into ``db.run_queries``:
+
+    * cached queries are answered without planning or execution;
+    * only the cache misses are optimized (still as one multi-query unit)
+      and their results cached;
+    * ``db.append_rows`` invalidates the cache.
+    """
+    cache = ResultCache(max_entries=max_entries)
+    original_run = db.run_queries
+    original_append = db.append_rows
+
+    def caching_run(
+        queries: Sequence[GroupByQuery], algorithm: str = "gg", cold: bool = True
+    ):
+        """Wrapped Database.run_queries serving hits from the cache."""
+        hits: Dict[int, QueryResult] = {}
+        misses: List[GroupByQuery] = []
+        for query in queries:
+            cached = cache.get(query)
+            if cached is None:
+                misses.append(query)
+            else:
+                hits[query.qid] = cached
+        if misses:
+            report = original_run(misses, algorithm=algorithm, cold=cold)
+            for result in report.results.values():
+                cache.put(result)
+        else:
+            # Nothing to execute: synthesize an empty report around an
+            # empty plan so callers keep a uniform interface.
+            from ..core.executor import ExecutionReport
+            from ..core.optimizer.plans import GlobalPlan
+
+            report = ExecutionReport(plan=GlobalPlan(algorithm=algorithm))
+        return _CachedReport(report, hits)
+
+    def invalidating_append(rows):
+        """Wrapped Database.append_rows that drops the cache afterwards."""
+        outcome = original_append(rows)
+        cache.invalidate()
+        return outcome
+
+    db.run_queries = caching_run
+    db.append_rows = invalidating_append
+    db.result_cache = cache
+    return cache
+
+
+class _CachedReport:
+    """An ExecutionReport wrapper that overlays cache hits onto the
+    executed results (everything else delegates)."""
+
+    def __init__(self, report, hits: Dict[int, QueryResult]):
+        self._report = report
+        self._hits = hits
+
+    @property
+    def results(self) -> Dict[int, QueryResult]:
+        """Executed results overlaid with cache hits, keyed by qid."""
+        merged = dict(self._report.results)
+        merged.update(self._hits)
+        return merged
+
+    def result_for(self, query: GroupByQuery) -> QueryResult:
+        """The result of one submitted query, by its qid."""
+        if query.qid in self._hits:
+            return self._hits[query.qid]
+        return self._report.result_for(query)
+
+    @property
+    def n_cache_hits(self) -> int:
+        """How many of this batch's queries came from the cache."""
+        return len(self._hits)
+
+    def __getattr__(self, name):
+        return getattr(self._report, name)

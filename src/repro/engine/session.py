@@ -1,0 +1,133 @@
+"""Query sessions: batch several MDX expressions, deduplicate their
+component queries, and optimize the whole batch as one unit.
+
+The paper optimizes the component queries of *one* MDX expression; a client
+session usually issues several related expressions (a dashboard refresh, a
+drill-down sequence).  Two natural extensions, both implemented here:
+
+* **Cross-expression optimization** — the union of all component queries is
+  handed to one optimizer run, so sharing is found across expressions, not
+  just within one.
+* **Duplicate elimination** — different expressions frequently denote some
+  identical component queries (same target group-by, same predicates, same
+  aggregate).  Each distinct query is planned and evaluated once; results
+  fan back out to every submission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.executor import ExecutionReport
+from ..core.operators.results import QueryResult
+from ..schema.query import GroupByQuery
+from .database import Database
+
+#: Semantic identity of a query (label and qid excluded).
+QueryKey = Tuple[Tuple[int, ...], frozenset, str]
+
+
+def query_key(query: GroupByQuery) -> QueryKey:
+    """Semantic identity of a query (levels, predicates, aggregate)."""
+    return (
+        query.groupby.levels,
+        frozenset(query.predicates),
+        query.aggregate.value,
+    )
+
+
+@dataclass
+class SessionReport:
+    """The outcome of one session run."""
+
+    execution: ExecutionReport
+    #: Results for every *submitted* query (duplicates included), by qid.
+    results: Dict[int, QueryResult] = field(default_factory=dict)
+    n_submitted: int = 0
+    n_distinct: int = 0
+
+    @property
+    def n_duplicates_eliminated(self) -> int:
+        """Submitted minus distinct query count."""
+        return self.n_submitted - self.n_distinct
+
+    def result_for(self, query: GroupByQuery) -> QueryResult:
+        """The result of one submitted query, by its qid."""
+        return self.results[query.qid]
+
+    def summary(self) -> str:
+        """One-line summary for logs and console output."""
+        return (
+            f"session: {self.n_submitted} submitted, "
+            f"{self.n_distinct} distinct "
+            f"({self.n_duplicates_eliminated} duplicate(s) eliminated); "
+            + self.execution.summary()
+        )
+
+
+class QuerySession:
+    """Collects queries (directly or via MDX) and runs them as one batch."""
+
+    def __init__(self, db: Database, algorithm: str = "gg"):
+        self.db = db
+        self.algorithm = algorithm
+        self._submitted: List[GroupByQuery] = []
+
+    # -- collecting -----------------------------------------------------------
+
+    def add_queries(self, queries: Sequence[GroupByQuery]) -> "QuerySession":
+        """Queue queries for the next run (validated immediately)."""
+        for query in queries:
+            query.validate(self.db.schema)
+            self._submitted.append(query)
+        return self
+
+    def add_mdx(self, text: str, label_prefix: Optional[str] = None) -> "QuerySession":
+        """Translate an MDX expression and queue its component queries."""
+        from ..mdx import translate_mdx
+
+        prefix = label_prefix or f"mdx{len(self._submitted)}"
+        self.add_queries(translate_mdx(self.db.schema, text, prefix))
+        return self
+
+    @property
+    def n_pending(self) -> int:
+        """Number of queries queued in the session."""
+        return len(self._submitted)
+
+    def clear(self) -> None:
+        """Drop all pending queries."""
+        self._submitted.clear()
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, cold: bool = True) -> SessionReport:
+        """Deduplicate, optimize the distinct set as one unit, execute, and
+        fan results back to every submission.  The pending set is cleared."""
+        if not self._submitted:
+            raise ValueError("the session has no queries to run")
+        canonical: Dict[QueryKey, GroupByQuery] = {}
+        members: Dict[QueryKey, List[GroupByQuery]] = {}
+        for query in self._submitted:
+            key = query_key(query)
+            canonical.setdefault(key, query)
+            members.setdefault(key, []).append(query)
+        distinct = list(canonical.values())
+        plan = self.db.optimize(distinct, self.algorithm)
+        execution = self.db.execute(plan, cold=cold)
+        report = SessionReport(
+            execution=execution,
+            n_submitted=len(self._submitted),
+            n_distinct=len(distinct),
+        )
+        for key, representative in canonical.items():
+            result = execution.results[representative.qid]
+            for twin in members[key]:
+                # Each fan-out gets its own groups dict: results are treated
+                # as owned values, never shared mutable state.
+                report.results[twin.qid] = QueryResult(
+                    query=twin, groups=dict(result.groups)
+                )
+        self.clear()
+        return report

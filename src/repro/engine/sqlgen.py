@@ -1,0 +1,77 @@
+"""Render group-by queries as the SQL a ROLAP engine would receive.
+
+The paper treats MDX and SQL interchangeably for its component queries
+(Section 2: each component query is "a star join query followed by an
+aggregation").  This module renders a :class:`GroupByQuery` in that star-join
+SQL form, mainly for display in examples and EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..schema.query import GroupByQuery
+from ..schema.star import StarSchema
+
+
+def level_column(schema: StarSchema, dim_index: int, level: int) -> str:
+    """Column reference for one hierarchy level, e.g. ``Adim.A_1`` for A'."""
+    dim = schema.dimensions[dim_index]
+    if level == dim.all_level:
+        raise ValueError("the ALL level has no column")
+    suffix = f"_{level}" if level else ""
+    return f"{dim.name}dim.{dim.name}{suffix}"
+
+
+def to_sql(schema: StarSchema, query: GroupByQuery, fact_table: str) -> str:
+    """A readable star-join SQL rendering of ``query`` against
+    ``fact_table``."""
+    select: List[str] = []
+    group_by: List[str] = []
+    joins: List[str] = []
+    where: List[str] = []
+    joined_dims = set()
+
+    def need_dim(dim_index: int) -> None:
+        """Register the dimension-table join once per dimension."""
+        if dim_index in joined_dims:
+            return
+        joined_dims.add(dim_index)
+        dim = schema.dimensions[dim_index]
+        joins.append(
+            f"JOIN {dim.name}dim ON {dim.name}dim.{dim.name} = "
+            f"{fact_table}.{dim.name}"
+        )
+
+    for dim_index, dim in enumerate(schema.dimensions):
+        level = query.groupby.levels[dim_index]
+        if level != dim.all_level:
+            if level == 0:
+                column = f"{fact_table}.{dim.name}"
+            else:
+                need_dim(dim_index)
+                column = level_column(schema, dim_index, level)
+            select.append(column)
+            group_by.append(column)
+
+    for pred in query.predicates:
+        dim = schema.dimensions[pred.dim_index]
+        if pred.level == 0:
+            column = f"{fact_table}.{dim.name}"
+        else:
+            need_dim(pred.dim_index)
+            column = level_column(schema, pred.dim_index, pred.level)
+        names = sorted(
+            dim.member_name(pred.level, member) for member in pred.member_ids
+        )
+        quoted = ", ".join(f"'{n}'" for n in names)
+        where.append(f"{column} IN ({quoted})")
+
+    select.append(f"{query.aggregate.value.upper()}({fact_table}.{schema.measure})")
+    sql = [f"SELECT {', '.join(select)}", f"FROM {fact_table}"]
+    sql.extend(joins)
+    if where:
+        sql.append("WHERE " + " AND ".join(where))
+    if group_by:
+        sql.append("GROUP BY " + ", ".join(group_by))
+    return "\n".join(sql)

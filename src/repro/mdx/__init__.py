@@ -1,0 +1,41 @@
+"""MDX front end: lexer, parser, member resolver, and the translator that
+splits one MDX expression into its component group-by queries (Section 2)."""
+
+from .ast import (
+    AXIS_NAMES,
+    AxisClause,
+    MdxExpression,
+    MemberPath,
+    NestExpr,
+    SetExpr,
+    TupleExpr,
+)
+from .lexer import MdxSyntaxError, Token, TokenType, tokenize
+from .parser import parse_mdx
+from .pivot import PivotGrid, PivotResult, evaluate_pivot
+from .resolver import MdxResolutionError, MeasureRef, ResolvedSelection, resolve_path
+from .translator import translate_expression, translate_mdx
+
+__all__ = [
+    "AXIS_NAMES",
+    "AxisClause",
+    "MdxExpression",
+    "MdxResolutionError",
+    "MdxSyntaxError",
+    "MeasureRef",
+    "MemberPath",
+    "NestExpr",
+    "PivotGrid",
+    "PivotResult",
+    "ResolvedSelection",
+    "SetExpr",
+    "Token",
+    "TokenType",
+    "TupleExpr",
+    "evaluate_pivot",
+    "parse_mdx",
+    "resolve_path",
+    "tokenize",
+    "translate_expression",
+    "translate_mdx",
+]

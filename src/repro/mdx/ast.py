@@ -1,0 +1,112 @@
+"""AST for the paper's MDX subset.
+
+An MDX expression is a list of axis clauses (each a *set* of member
+expressions or tuples), a ``CONTEXT`` cube name, and an optional ``FILTER``
+slicer.  Member expressions are dotted paths whose segments the resolver
+binds against dimension hierarchies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+_BARE_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*'*\Z")
+
+
+def _render_segment(segment: str) -> str:
+    """Render a path segment, re-bracketing names that are not bare
+    identifiers (e.g. ``1991`` → ``[1991]``)."""
+    if _BARE_IDENT_RE.match(segment):
+        return segment
+    return f"[{segment}]"
+
+
+@dataclass(frozen=True)
+class MemberPath:
+    """A dotted reference like ``A''.A1.CHILDREN.AA2`` or ``D.DD1``.
+
+    ``segments`` keeps the raw components in order; ``CHILDREN`` appears as
+    the literal segment ``"CHILDREN"`` (the lexer uppercases keywords when
+    matching, but the raw spelling is preserved here).  Bracket quoting is
+    stripped by the lexer and restored by ``str()``.
+    """
+
+    segments: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("an empty member path is not valid MDX")
+
+    def __str__(self) -> str:
+        return ".".join(_render_segment(s) for s in self.segments)
+
+
+@dataclass(frozen=True)
+class TupleExpr:
+    """A parenthesized tuple of member paths, as produced by NEST's second
+    argument in the paper's example: ``(USA_North.CHILDREN, USA_South,
+    Japan)``."""
+
+    items: Tuple[MemberPath, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+SetElement = Union[MemberPath, TupleExpr]
+
+
+@dataclass(frozen=True)
+class SetExpr:
+    """A braced set ``{e1, e2, …}`` of member paths / tuples."""
+
+    elements: Tuple[SetElement, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(e) for e in self.elements) + "}"
+
+
+@dataclass(frozen=True)
+class NestExpr:
+    """``NEST(arg1, arg2, …)`` — the cross join of its argument sets."""
+
+    args: Tuple[Union[SetExpr, TupleExpr, MemberPath], ...]
+
+    def __str__(self) -> str:
+        return "NEST(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+AxisExpr = Union[SetExpr, NestExpr, MemberPath, TupleExpr]
+
+#: Axis names in MDX order.
+AXIS_NAMES = ("COLUMNS", "ROWS", "PAGES", "CHAPTERS", "SECTIONS")
+
+
+@dataclass(frozen=True)
+class AxisClause:
+    """``<expr> on <axis>``."""
+
+    expr: AxisExpr
+    axis: str  # one of AXIS_NAMES
+
+    def __str__(self) -> str:
+        return f"{self.expr} on {self.axis}"
+
+
+@dataclass(frozen=True)
+class MdxExpression:
+    """A full parsed MDX expression."""
+
+    axes: Tuple[AxisClause, ...]
+    cube: str
+    slicer: Tuple[MemberPath, ...] = ()
+
+    def __str__(self) -> str:
+        parts: List[str] = [str(axis) for axis in self.axes]
+        parts.append(f"CONTEXT {self.cube}")
+        if self.slicer:
+            inner = ", ".join(str(p) for p in self.slicer)
+            parts.append(f"FILTER ({inner})")
+        return "\n".join(parts)

@@ -1,0 +1,115 @@
+"""Tokenizer for the paper's MDX subset.
+
+Handles the constructs the paper uses: braces for sets, parentheses for
+tuples and argument lists, ``NEST``, axis clauses (``on COLUMNS`` / ``ROWS``
+/ ``PAGES`` / ``CHAPTERS`` / ``SECTIONS``), ``CONTEXT``, ``FILTER``, dotted
+member paths with ``CHILDREN``, primed level names (``A''``), and bracketed
+members (``[1991]``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+
+class TokenType(Enum):
+    """Kinds of MDX tokens."""
+    IDENT = "ident"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    EOF = "eof"
+
+
+#: Reserved words, case-insensitive (the paper capitalizes them).
+KEYWORDS = {
+    "NEST",
+    "ON",
+    "COLUMNS",
+    "ROWS",
+    "PAGES",
+    "CHAPTERS",
+    "SECTIONS",
+    "CONTEXT",
+    "FILTER",
+    "CHILDREN",
+    "MEMBERS",
+    "PARENT",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token: type, value, and source position."""
+    type: TokenType
+    value: str
+    position: int
+
+    @property
+    def keyword(self) -> str:
+        """Uppercased value if this identifier is a reserved word, else ''."""
+        if self.type is TokenType.IDENT and self.value.upper() in KEYWORDS:
+            return self.value.upper()
+        return ""
+
+
+class MdxSyntaxError(ValueError):
+    """Raised on malformed MDX input, with position context."""
+
+    def __init__(self, message: str, text: str, position: int):
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+# Identifiers: bare names possibly ending in primes (A'', Qtr1), or
+# bracket-quoted ([1991], [USA North]).
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*'*|\[[^\]\n]*\]")
+_WS_RE = re.compile(r"\s+")
+
+_PUNCT = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; always ends with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ws = _WS_RE.match(text, i)
+        if ws:
+            i = ws.end()
+            continue
+        ch = text[i]
+        punct = _PUNCT.get(ch)
+        if punct is not None:
+            tokens.append(Token(punct, ch, i))
+            i += 1
+            continue
+        m = _IDENT_RE.match(text, i)
+        if m:
+            value = m.group(0)
+            if value.startswith("["):
+                value = value[1:-1].strip()
+                if not value:
+                    raise MdxSyntaxError("empty bracketed name", text, i)
+            tokens.append(Token(TokenType.IDENT, value, i))
+            i = m.end()
+            continue
+        raise MdxSyntaxError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

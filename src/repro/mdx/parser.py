@@ -1,0 +1,212 @@
+"""Recursive-descent parser for the paper's MDX subset.
+
+Grammar (informal)::
+
+    expression := axis_clause+ 'CONTEXT' ident filter?
+    axis_clause := axis_expr 'on' axis_name
+    axis_expr  := set | nest | member_path | tuple
+    nest       := 'NEST' '(' nest_arg (',' nest_arg)* ')'
+    nest_arg   := set | tuple | member_path
+    set        := '{' set_elem (',' set_elem)* '}'
+    set_elem   := member_path | tuple
+    tuple      := '(' member_path (',' member_path)* ')'
+    member_path := segment ('.' segment)*
+    filter     := 'FILTER' '(' member_path (',' member_path)* ')'
+
+Axis clauses may appear in any order; each axis name may be used once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AXIS_NAMES,
+    AxisClause,
+    AxisExpr,
+    MdxExpression,
+    MemberPath,
+    NestExpr,
+    SetElement,
+    SetExpr,
+    TupleExpr,
+)
+from .lexer import MdxSyntaxError, Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        """The token under the cursor (EOF at the end)."""
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, token_type: TokenType, what: str) -> Token:
+        """Consume a token of the given type or raise with context."""
+        if self.current.type is not token_type:
+            raise MdxSyntaxError(
+                f"expected {what}, found {self.current.value!r}",
+                self.text,
+                self.current.position,
+            )
+        return self.advance()
+
+    def at_keyword(self, *keywords: str) -> bool:
+        """Whether the current token is one of the given keywords."""
+        return self.current.keyword in keywords
+
+    def expect_keyword(self, keyword: str) -> Token:
+        """Consume the given keyword or raise with context."""
+        if not self.at_keyword(keyword):
+            raise MdxSyntaxError(
+                f"expected {keyword}, found {self.current.value!r}",
+                self.text,
+                self.current.position,
+            )
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> MdxExpression:
+        """Parse the textual form into an instance."""
+        axes: List[AxisClause] = []
+        while not self.at_keyword("CONTEXT"):
+            if self.current.type is TokenType.EOF:
+                raise MdxSyntaxError(
+                    "expected CONTEXT clause before end of input",
+                    self.text,
+                    self.current.position,
+                )
+            axes.append(self.parse_axis_clause())
+        self.expect_keyword("CONTEXT")
+        cube = self.expect(TokenType.IDENT, "cube name").value
+        slicer: Tuple[MemberPath, ...] = ()
+        if self.at_keyword("FILTER"):
+            self.advance()
+            slicer = self.parse_filter_args()
+        if self.current.type is not TokenType.EOF:
+            raise MdxSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.text,
+                self.current.position,
+            )
+        if not axes:
+            raise MdxSyntaxError("an MDX expression needs at least one axis",
+                                 self.text, 0)
+        seen = set()
+        for clause in axes:
+            if clause.axis in seen:
+                raise MdxSyntaxError(
+                    f"axis {clause.axis} used twice", self.text, 0
+                )
+            seen.add(clause.axis)
+        return MdxExpression(axes=tuple(axes), cube=cube, slicer=slicer)
+
+    def parse_axis_clause(self) -> AxisClause:
+        """axis_expr 'on' axis_name."""
+        expr = self.parse_axis_expr()
+        self.expect_keyword("ON")
+        token = self.advance()
+        axis = token.keyword
+        if axis not in AXIS_NAMES:
+            raise MdxSyntaxError(
+                f"unknown axis {token.value!r}", self.text, token.position
+            )
+        return AxisClause(expr=expr, axis=axis)
+
+    def parse_axis_expr(self) -> AxisExpr:
+        """set | nest | tuple | member_path."""
+        if self.at_keyword("NEST"):
+            return self.parse_nest()
+        if self.current.type is TokenType.LBRACE:
+            return self.parse_set()
+        if self.current.type is TokenType.LPAREN:
+            return self.parse_tuple()
+        return self.parse_member_path()
+
+    def parse_nest(self) -> NestExpr:
+        """NEST '(' nest_arg (',' nest_arg)* ')'."""
+        self.expect_keyword("NEST")
+        self.expect(TokenType.LPAREN, "'(' after NEST")
+        args: List = [self.parse_nest_arg()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            args.append(self.parse_nest_arg())
+        self.expect(TokenType.RPAREN, "')' closing NEST")
+        return NestExpr(args=tuple(args))
+
+    def parse_nest_arg(self):
+        """A NEST argument; parenthesized lists act as sets."""
+        if self.current.type is TokenType.LBRACE:
+            return self.parse_set()
+        if self.current.type is TokenType.LPAREN:
+            # The paper writes NEST's arguments with parentheses acting as
+            # sets — NEST({Venkatrao, Netz}, (USA_North.CHILDREN, USA_South,
+            # Japan)) — so a parenthesized NEST argument is a set; tuples
+            # inside a NEST argument are written within braces: {(a, b)}.
+            tuple_expr = self.parse_tuple()
+            return SetExpr(elements=tuple_expr.items)
+        return self.parse_member_path()
+
+    def parse_set(self) -> SetExpr:
+        """'{' set_elem (',' set_elem)* '}'."""
+        self.expect(TokenType.LBRACE, "'{'")
+        elements: List[SetElement] = [self.parse_set_element()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            elements.append(self.parse_set_element())
+        self.expect(TokenType.RBRACE, "'}'")
+        return SetExpr(elements=tuple(elements))
+
+    def parse_set_element(self) -> SetElement:
+        """member_path or a parenthesized tuple."""
+        if self.current.type is TokenType.LPAREN:
+            return self.parse_tuple()
+        return self.parse_member_path()
+
+    def parse_tuple(self) -> TupleExpr:
+        """'(' member_path (',' member_path)* ')'."""
+        self.expect(TokenType.LPAREN, "'('")
+        items = [self.parse_member_path()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self.parse_member_path())
+        self.expect(TokenType.RPAREN, "')'")
+        return TupleExpr(items=tuple(items))
+
+    def parse_member_path(self) -> MemberPath:
+        """Dotted member reference."""
+        token = self.expect(TokenType.IDENT, "member reference")
+        segments = [token.value]
+        while self.current.type is TokenType.DOT:
+            self.advance()
+            segments.append(self.expect(TokenType.IDENT, "path segment").value)
+        return MemberPath(segments=tuple(segments))
+
+    def parse_filter_args(self) -> Tuple[MemberPath, ...]:
+        """FILTER '(' member_path (',' member_path)* ')'."""
+        self.expect(TokenType.LPAREN, "'(' after FILTER")
+        items = [self.parse_member_path()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self.parse_member_path())
+        self.expect(TokenType.RPAREN, "')' closing FILTER")
+        return tuple(items)
+
+
+def parse_mdx(text: str) -> MdxExpression:
+    """Parse one MDX expression."""
+    return _Parser(text).parse()

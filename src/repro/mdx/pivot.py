@@ -1,0 +1,200 @@
+"""Pivot rendering: lay MDX results out on their axes.
+
+MDX axes exist for presentation — COLUMNS × ROWS (× PAGES) define a grid of
+cells, each holding the aggregated measure for one member combination.  The
+translator turns an expression into component group-by queries for
+*evaluation*; this module performs the inverse mapping for *display*: each
+axis position (an individual member combination) is routed to the component
+query whose level signature it belongs to, and its group value is placed in
+the grid.
+
+Supports one or two layout axes plus an optional PAGES axis (one grid per
+page position); higher axes would only add more nesting of the same idea.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..schema.query import GroupByQuery
+from ..schema.star import StarSchema
+from .parser import parse_mdx
+from .resolver import ResolvedSelection
+from .translator import _axis_expr_cells, _resolve_slicer, translate_expression
+
+#: One concrete member coordinate: (dim_index, level, member_id).
+Coordinate = Tuple[int, int, int]
+
+#: One axis position: coordinates for every dimension the axis binds.
+Position = Tuple[Coordinate, ...]
+
+
+@dataclass
+class PivotGrid:
+    """One rendered grid: rows × columns of optional values."""
+
+    page: Position  # empty tuple when there is no PAGES axis
+    columns: List[Position]
+    rows: List[Position]
+    values: List[List[Optional[float]]]  # [row][column]
+
+
+@dataclass
+class PivotResult:
+    """The full pivot: one or more grids plus the evaluation report."""
+
+    schema: StarSchema
+    grids: List[PivotGrid]
+    queries: List[GroupByQuery]
+    sim_ms: float
+
+    def render(self, width: int = 12) -> str:
+        """Plain-text rendering for the console."""
+        blocks = [self._render_grid(grid, width) for grid in self.grids]
+        return "\n\n".join(blocks)
+
+    def _label(self, position: Position) -> str:
+        if not position:
+            return ""
+        parts = []
+        for dim_index, level, member in position:
+            dim = self.schema.dimensions[dim_index]
+            parts.append(dim.member_name(level, member))
+        return ", ".join(parts)
+
+    def _render_grid(self, grid: PivotGrid, width: int) -> str:
+        lines: List[str] = []
+        if grid.page:
+            lines.append(f"PAGE: {self._label(grid.page)}")
+        row_header_width = max(
+            [len(self._label(r)) for r in grid.rows] + [4]
+        )
+        header = " " * row_header_width + " | " + " | ".join(
+            self._label(c).rjust(width) for c in grid.columns
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row, row_values in zip(grid.rows, grid.values):
+            cells = " | ".join(
+                (f"{v:.2f}".rjust(width) if v is not None else "-".rjust(width))
+                for v in row_values
+            )
+            lines.append(self._label(row).ljust(row_header_width) + " | " + cells)
+        return "\n".join(lines)
+
+
+def _positions_of_axis(
+    schema: StarSchema, expr
+) -> List[Position]:
+    """Expand an axis expression into individual member positions, in the
+    order they were written (sets expand member-by-member; CHILDREN expands
+    in child order)."""
+    positions: List[Position] = []
+    for cell in _axis_expr_cells(schema, expr):
+        # A cell's selections may each hold several members (CHILDREN /
+        # MEMBERS); the axis shows their cross product.
+        per_dim: List[List[Coordinate]] = []
+        for selection in cell:
+            if selection.is_all:
+                per_dim.append([(selection.dim_index, selection.level, 0)])
+            else:
+                per_dim.append(
+                    [
+                        (selection.dim_index, selection.level, member)
+                        for member in sorted(selection.member_ids)
+                    ]
+                )
+        for combo in itertools.product(*per_dim):
+            positions.append(tuple(combo))
+    return positions
+
+
+def _cell_value(
+    schema: StarSchema,
+    queries: Sequence[GroupByQuery],
+    results: Dict[int, "object"],
+    coordinates: Sequence[Coordinate],
+    slicer: Dict[int, ResolvedSelection],
+) -> Optional[float]:
+    """Look one member combination up in the matching component query."""
+    levels = {dim_index: level for dim_index, level, _m in coordinates}
+    for dim_index, selection in slicer.items():
+        levels.setdefault(dim_index, selection.level)
+    target = []
+    for d, dim in enumerate(schema.dimensions):
+        target.append(levels.get(d, dim.all_level))
+    match = None
+    for query in queries:
+        if list(query.groupby.levels) == target:
+            match = query
+            break
+    if match is None:
+        return None
+    key = [0] * schema.n_dims
+    for dim_index, _level, member in coordinates:
+        key[dim_index] = member
+    # Slicer dimensions not on any axis pin the remaining key components.
+    # A multi-member slicer means the cell aggregates over those members:
+    # sum the matching groups (SUM is the only multi-member-correct case,
+    # which is what MDX slicers denote).
+    axis_dims = {c[0] for c in coordinates}
+    slicer_sets = [
+        (dim_index, sorted(selection.member_ids))
+        for dim_index, selection in slicer.items()
+        if dim_index not in axis_dims and not selection.is_all
+    ]
+    result = results[match.qid]
+    total: Optional[float] = None
+    for combo in itertools.product(
+        *[members for _d, members in slicer_sets]
+    ) if slicer_sets else [()]:
+        for (dim_index, _members), member in zip(slicer_sets, combo):
+            key[dim_index] = member
+        value = result.groups.get(tuple(key))
+        if value is not None:
+            total = value if total is None else total + value
+    return total
+
+
+def evaluate_pivot(db, mdx_text: str, algorithm: str = "gg") -> PivotResult:
+    """Parse, optimize (as one unit), execute, and lay out an MDX
+    expression's results on its axes."""
+    expression = parse_mdx(mdx_text)
+    schema = db.schema
+    by_axis = {clause.axis: clause.expr for clause in expression.axes}
+    if "COLUMNS" not in by_axis:
+        raise ValueError("pivot layout needs a COLUMNS axis")
+    columns = _positions_of_axis(schema, by_axis["COLUMNS"])
+    rows = (
+        _positions_of_axis(schema, by_axis["ROWS"])
+        if "ROWS" in by_axis
+        else [()]
+    )
+    pages = (
+        _positions_of_axis(schema, by_axis["PAGES"])
+        if "PAGES" in by_axis
+        else [()]
+    )
+    slicer = _resolve_slicer(schema, expression.slicer)
+    queries = translate_expression(schema, expression, label_prefix="pivot")
+    report = db.run_queries(queries, algorithm)
+    results = report.results
+    grids: List[PivotGrid] = []
+    for page in pages:
+        values: List[List[Optional[float]]] = []
+        for row in rows:
+            row_values: List[Optional[float]] = []
+            for column in columns:
+                coordinates = tuple(page) + tuple(row) + tuple(column)
+                row_values.append(
+                    _cell_value(schema, queries, results, coordinates, slicer)
+                )
+            values.append(row_values)
+        grids.append(
+            PivotGrid(page=page, columns=columns, rows=rows, values=values)
+        )
+    return PivotResult(
+        schema=schema, grids=grids, queries=queries, sim_ms=report.sim_ms
+    )

@@ -1,0 +1,188 @@
+"""Binding MDX member paths against a star schema's hierarchies.
+
+A path like ``A''.A1.CHILDREN.AA2`` resolves to a set of members at one
+level of one dimension: here the single A'-level member AA2, checked to be a
+child of A1.  ``D.DD1`` resolves via the dimension-name hint; ``Products.All``
+resolves to the ALL pseudo-level (aggregate everything, no predicate); a
+path equal to the schema's measure name resolves to a measure reference
+(as in the paper's ``FILTER(Sales, [1991], Products.All)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..schema.dimension import Dimension
+from ..schema.star import StarSchema
+from .ast import MemberPath
+
+
+class MdxResolutionError(ValueError):
+    """A syntactically valid path that does not bind against the schema."""
+
+
+@dataclass(frozen=True)
+class ResolvedSelection:
+    """A bound member set: ``member_ids`` at ``level`` of one dimension.
+
+    An ALL-level selection has ``level == dim.all_level`` and no members —
+    it contributes no predicate and aggregates the dimension away.
+    """
+
+    dim_index: int
+    level: int
+    member_ids: frozenset
+
+    @property
+    def is_all(self) -> bool:
+        """True for an ALL-level selection (no predicate)."""
+        return not self.member_ids
+
+
+@dataclass(frozen=True)
+class MeasureRef:
+    """A reference to the cube's measure (legal only in FILTER)."""
+
+    name: str
+
+
+def _find_hint(
+    schema: StarSchema, segment: str
+) -> Tuple[Optional[int], Optional[int]]:
+    """Interpret a leading segment as a dimension or level name →
+    (dim_index, level or None); (None, None) if it is neither."""
+    for d, dim in enumerate(schema.dimensions):
+        if segment == dim.name:
+            return d, None
+        for level in dim.levels:
+            if segment == level.name and level.name != dim.name:
+                return d, level.depth
+    return None, None
+
+
+def resolve_path(schema: StarSchema, path: MemberPath):
+    """Resolve one member path → :class:`ResolvedSelection` or
+    :class:`MeasureRef`."""
+    segments = list(path.segments)
+    if len(segments) == 1 and segments[0] == schema.measure:
+        return MeasureRef(name=segments[0])
+
+    dim_hint: Optional[int] = None
+    level_hint: Optional[int] = None
+    idx = 0
+    hint_dim, hint_level = _find_hint(schema, segments[0])
+    if hint_dim is not None:
+        dim_hint = hint_dim
+        level_hint = hint_level
+        idx = 1
+        if idx >= len(segments):
+            raise MdxResolutionError(
+                f"path {path} names a dimension/level but no member"
+            )
+
+    # <dim>.All — the ALL pseudo-level.
+    if segments[idx].lower() == "all":
+        if dim_hint is None:
+            raise MdxResolutionError(
+                f"'All' needs a dimension qualifier in {path}"
+            )
+        if idx != len(segments) - 1:
+            raise MdxResolutionError(f"nothing may follow 'All' in {path}")
+        dim = schema.dimensions[dim_hint]
+        return ResolvedSelection(dim_hint, dim.all_level, frozenset())
+
+    # <level>.MEMBERS / <dim>.MEMBERS — every member of a level (the leaf
+    # level when only the dimension is named).
+    if segments[idx].upper() == "MEMBERS":
+        if dim_hint is None:
+            raise MdxResolutionError(
+                f"MEMBERS needs a dimension or level qualifier in {path}"
+            )
+        dim = schema.dimensions[dim_hint]
+        level = level_hint if level_hint is not None else 0
+        selection = frozenset(range(dim.n_members(level)))
+        dim_index = dim_hint
+        idx += 1
+    else:
+        # First real member segment: locate it (within the hinted dimension
+        # if one was given, otherwise search every dimension).
+        name = segments[idx]
+        dim_index = None
+        found: Optional[Tuple[int, int]] = None
+        if dim_hint is not None:
+            dim = schema.dimensions[dim_hint]
+            if dim.has_member(name):
+                dim_index = dim_hint
+                found = dim.find_member(name)
+        if found is None:
+            matches = []
+            for d, dim in enumerate(schema.dimensions):
+                if dim.has_member(name):
+                    matches.append((d, dim.find_member(name)))
+            if not matches:
+                raise MdxResolutionError(
+                    f"no dimension has a member named {name!r} (path {path})"
+                )
+            if len(matches) > 1:
+                dims = [schema.dimensions[d].name for d, _ in matches]
+                raise MdxResolutionError(
+                    f"member {name!r} is ambiguous across dimensions {dims}; "
+                    f"qualify it (path {path})"
+                )
+            dim_index, found = matches[0]
+        assert dim_index is not None and found is not None
+        dim = schema.dimensions[dim_index]
+        level, member = found
+        selection = frozenset([member])
+        idx += 1
+
+    while idx < len(segments):
+        segment = segments[idx]
+        if segment.upper() == "PARENT":
+            if level + 1 >= dim.n_levels:
+                raise MdxResolutionError(
+                    f"members at top level {dim.level_name(level)!r} have "
+                    f"no parent (path {path})"
+                )
+            selection = frozenset(
+                dim.parent(level, member) for member in selection
+            )
+            level += 1
+        elif segment.upper() == "CHILDREN":
+            if level == 0:
+                raise MdxResolutionError(
+                    f"members at leaf level {dim.level_name(0)!r} have no "
+                    f"children (path {path})"
+                )
+            children = frozenset(
+                child
+                for parent in selection
+                for child in dim.children(level, parent)
+            )
+            level -= 1
+            selection = children
+        else:
+            # A member name narrowing the current selection (the paper's
+            # A1.CHILDREN.AA2 idiom).
+            if not dim.has_member(segment):
+                raise MdxResolutionError(
+                    f"dimension {dim.name!r} has no member {segment!r} "
+                    f"(path {path})"
+                )
+            seg_level, seg_member = dim.find_member(segment)
+            if seg_level != level:
+                raise MdxResolutionError(
+                    f"member {segment!r} is at level "
+                    f"{dim.level_name(seg_level)!r}, expected level "
+                    f"{dim.level_name(level)!r} (path {path})"
+                )
+            if seg_member not in selection:
+                raise MdxResolutionError(
+                    f"member {segment!r} is not in the preceding selection "
+                    f"(path {path})"
+                )
+            selection = frozenset([seg_member])
+        idx += 1
+
+    return ResolvedSelection(dim_index, level, selection)

@@ -1,0 +1,204 @@
+"""MDX → component group-by queries.
+
+This is the front half of the paper's Section 2: one MDX expression, whose
+axis sets may mix members of *different hierarchy levels*, is split into the
+set of relational group-by queries it denotes.  The paper's SalesCube
+example yields exactly six component queries; the splitting rule is:
+
+1. flatten every axis into its cells (a cell = one member selection per
+   dimension the axis mentions; NEST cross-joins its arguments);
+2. group an axis's cells by their *level signature* — the (dimension, level)
+   vector — because cells at different levels belong to different group-bys;
+3. the component queries are the cross product of the axes' signature
+   groups, each combined with the slicer;
+4. each component query's target group-by is the per-dimension level of its
+   signature (unmentioned dimensions are aggregated to ALL), and each
+   mentioned dimension contributes an IN-list predicate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from ..schema.query import Aggregate, DimPredicate, GroupBy, GroupByQuery
+from ..schema.star import StarSchema
+from .ast import (
+    AxisClause,
+    MdxExpression,
+    MemberPath,
+    NestExpr,
+    SetExpr,
+    TupleExpr,
+)
+from .parser import parse_mdx
+from .resolver import MdxResolutionError, MeasureRef, ResolvedSelection, resolve_path
+
+#: A cell: one or more bound selections (one per dimension the axis uses).
+Cell = Tuple[ResolvedSelection, ...]
+
+
+def _path_cells(schema: StarSchema, path: MemberPath) -> List[Cell]:
+    bound = resolve_path(schema, path)
+    if isinstance(bound, MeasureRef):
+        raise MdxResolutionError(
+            f"measure {bound.name!r} cannot appear on an axis"
+        )
+    return [(bound,)]
+
+
+def _tuple_cells(schema: StarSchema, expr: TupleExpr) -> List[Cell]:
+    cell: List[ResolvedSelection] = []
+    for item in expr.items:
+        bound = resolve_path(schema, item)
+        if isinstance(bound, MeasureRef):
+            raise MdxResolutionError(
+                f"measure {bound.name!r} cannot appear in a tuple"
+            )
+        cell.append(bound)
+    return [tuple(cell)]
+
+
+def _set_cells(schema: StarSchema, expr: SetExpr) -> List[Cell]:
+    cells: List[Cell] = []
+    for element in expr.elements:
+        if isinstance(element, TupleExpr):
+            cells.extend(_tuple_cells(schema, element))
+        else:
+            cells.extend(_path_cells(schema, element))
+    return cells
+
+
+def _nest_cells(schema: StarSchema, expr: NestExpr) -> List[Cell]:
+    per_arg: List[List[Cell]] = []
+    for arg in expr.args:
+        per_arg.append(_axis_expr_cells(schema, arg))
+    cells: List[Cell] = []
+    for combo in itertools.product(*per_arg):
+        merged: List[ResolvedSelection] = []
+        for cell in combo:
+            merged.extend(cell)
+        cells.append(tuple(merged))
+    return cells
+
+
+def _axis_expr_cells(schema: StarSchema, expr) -> List[Cell]:
+    if isinstance(expr, NestExpr):
+        return _nest_cells(schema, expr)
+    if isinstance(expr, SetExpr):
+        return _set_cells(schema, expr)
+    if isinstance(expr, TupleExpr):
+        return _tuple_cells(schema, expr)
+    if isinstance(expr, MemberPath):
+        return _path_cells(schema, expr)
+    raise TypeError(f"unexpected axis expression {expr!r}")
+
+
+def _signature(cell: Cell) -> Tuple[Tuple[int, int], ...]:
+    """The level signature of a cell: sorted (dim_index, level) pairs."""
+    pairs = sorted((sel.dim_index, sel.level) for sel in cell)
+    dims = [d for d, _lv in pairs]
+    if len(set(dims)) != len(dims):
+        raise MdxResolutionError(
+            "a tuple mentions the same dimension twice"
+        )
+    return tuple(pairs)
+
+
+def _group_axis(schema: StarSchema, clause: AxisClause) -> List[Dict[int, ResolvedSelection]]:
+    """Split one axis into signature groups; each group maps dim_index →
+    merged selection."""
+    cells = _axis_expr_cells(schema, clause.expr)
+    groups: Dict[Tuple[Tuple[int, int], ...], Dict[int, set]] = {}
+    for cell in cells:
+        signature = _signature(cell)
+        members = groups.setdefault(signature, {d: set() for d, _ in signature})
+        for sel in cell:
+            members[sel.dim_index].update(sel.member_ids)
+    ordered = sorted(groups.items(), key=lambda item: item[0])
+    out: List[Dict[int, ResolvedSelection]] = []
+    for signature, members in ordered:
+        merged: Dict[int, ResolvedSelection] = {}
+        for dim_index, level in signature:
+            merged[dim_index] = ResolvedSelection(
+                dim_index, level, frozenset(members[dim_index])
+            )
+        out.append(merged)
+    return out
+
+
+def _resolve_slicer(
+    schema: StarSchema, paths: Sequence[MemberPath]
+) -> Dict[int, ResolvedSelection]:
+    out: Dict[int, ResolvedSelection] = {}
+    for path in paths:
+        bound = resolve_path(schema, path)
+        if isinstance(bound, MeasureRef):
+            continue  # selecting the cube's (only) measure
+        if bound.dim_index in out:
+            raise MdxResolutionError(
+                f"FILTER constrains dimension "
+                f"{schema.dimensions[bound.dim_index].name!r} twice"
+            )
+        out[bound.dim_index] = bound
+    return out
+
+
+def translate_expression(
+    schema: StarSchema, expression: MdxExpression, label_prefix: str = "MDX"
+) -> List[GroupByQuery]:
+    """Split a parsed MDX expression into its component group-by queries."""
+    axis_groups = [_group_axis(schema, clause) for clause in expression.axes]
+    slicer = _resolve_slicer(schema, expression.slicer)
+    queries: List[GroupByQuery] = []
+    for combo in itertools.product(*axis_groups):
+        levels = [dim.all_level for dim in schema.dimensions]
+        predicates: List[DimPredicate] = []
+        seen: set = set()
+        selections: List[ResolvedSelection] = []
+        for group in combo:
+            selections.extend(group.values())
+        for sel in selections:
+            if sel.dim_index in seen:
+                raise MdxResolutionError(
+                    f"dimension {schema.dimensions[sel.dim_index].name!r} "
+                    f"appears on two axes"
+                )
+            seen.add(sel.dim_index)
+            levels[sel.dim_index] = sel.level
+            if not sel.is_all:
+                predicates.append(
+                    DimPredicate(sel.dim_index, sel.level, sel.member_ids)
+                )
+        for dim_index, sel in slicer.items():
+            if dim_index not in seen:
+                # Slicer on an otherwise-unmentioned dimension: it sets both
+                # the target level and the predicate.
+                levels[dim_index] = sel.level
+                if not sel.is_all:
+                    predicates.append(
+                        DimPredicate(dim_index, sel.level, sel.member_ids)
+                    )
+            elif not sel.is_all:
+                # Slicer on a dimension an axis already groups by: the
+                # slicer's member set becomes an additional (ANDed)
+                # predicate — e.g. months on ROWS within FILTER([1991]).
+                predicates.append(
+                    DimPredicate(dim_index, sel.level, sel.member_ids)
+                )
+        queries.append(
+            GroupByQuery(
+                groupby=GroupBy(tuple(levels)),
+                predicates=tuple(sorted(predicates, key=lambda p: p.dim_index)),
+                aggregate=Aggregate.SUM,
+                label=f"{label_prefix}[{len(queries) + 1}]",
+            )
+        )
+    return queries
+
+
+def translate_mdx(
+    schema: StarSchema, text: str, label_prefix: str = "MDX"
+) -> List[GroupByQuery]:
+    """Parse + translate one MDX string into its component queries."""
+    return translate_expression(schema, parse_mdx(text), label_prefix)

@@ -1,0 +1,174 @@
+"""A fluent builder for star schemas.
+
+Constructing a :class:`Dimension` by hand means assembling parent arrays and
+member-name lists; the builder offers the two idioms real schemas use —
+balanced hierarchies by fanout, and explicit parent-name mappings — and
+validates as it goes.
+
+Example::
+
+    schema = (
+        SchemaBuilder("RetailCube", measure="revenue")
+        .balanced_dimension(
+            "Product", levels=("SKU", "Category", "Department"),
+            top_members=("Grocery", "Electronics"), fanouts=(4, 25),
+        )
+        .dimension("Region")
+            .level("Country", ["US", "JP"])
+            .level("City", {"NYC": "US", "SF": "US", "Tokyo": "JP"})
+            .level("Store", {"S1": "NYC", "S2": "SF", "S3": "Tokyo"})
+            .done()
+        .build()
+    )
+
+Levels are declared *coarsest first* (the natural way people describe
+hierarchies); the builder reverses them into the engine's finest-first
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .dimension import Dimension
+from .star import StarSchema
+
+LevelSpec = Union[Sequence[str], Mapping[str, str]]
+
+
+class DimensionBuilder:
+    """Accumulates levels (coarsest first) for one explicit dimension."""
+
+    def __init__(self, parent: "SchemaBuilder", name: str):
+        self._parent = parent
+        self.name = name
+        self._level_names: List[str] = []
+        self._members: List[List[str]] = []  # coarsest first
+        self._parent_names: List[Optional[Mapping[str, str]]] = []
+
+    def level(self, level_name: str, members: LevelSpec) -> "DimensionBuilder":
+        """Add the next (finer) level.
+
+        The first level takes a plain list of member names; every deeper
+        level takes a mapping ``member -> parent member`` (parents must be
+        members of the previous level)."""
+        if not members:
+            raise ValueError(
+                f"level {level_name!r} of {self.name!r} needs members"
+            )
+        if not self._level_names:
+            if isinstance(members, Mapping):
+                raise ValueError(
+                    f"the top level {level_name!r} takes a list of names, "
+                    f"not a parent mapping"
+                )
+            self._members.append(list(members))
+            self._parent_names.append(None)
+        else:
+            if not isinstance(members, Mapping):
+                raise ValueError(
+                    f"level {level_name!r} needs a member -> parent mapping "
+                    f"(its parents live at {self._level_names[-1]!r})"
+                )
+            previous = set(self._members[-1])
+            bad = [p for p in members.values() if p not in previous]
+            if bad:
+                raise ValueError(
+                    f"unknown parent(s) {sorted(set(bad))} for level "
+                    f"{level_name!r}; parents must be members of "
+                    f"{self._level_names[-1]!r}"
+                )
+            self._members.append(list(members))
+            self._parent_names.append(dict(members))
+        self._level_names.append(level_name)
+        return self
+
+    def done(self) -> "SchemaBuilder":
+        """Finish this dimension and return to the schema builder."""
+        if len(self._level_names) < 1:
+            raise ValueError(f"dimension {self.name!r} has no levels")
+        # Convert to the engine's finest-first representation.
+        level_names = list(reversed(self._level_names))
+        member_names = list(reversed(self._members))
+        parents: List[np.ndarray] = []
+        for depth in range(len(level_names) - 1):
+            fine = member_names[depth]
+            coarse = member_names[depth + 1]
+            coarse_ids = {name: i for i, name in enumerate(coarse)}
+            mapping = self._parent_names[len(level_names) - 1 - depth]
+            assert mapping is not None
+            parents.append(
+                np.asarray(
+                    [coarse_ids[mapping[name]] for name in fine],
+                    dtype=np.int64,
+                )
+            )
+        dimension = Dimension(
+            name=self.name,
+            level_names=level_names,
+            parents=parents,
+            member_names=member_names,
+        )
+        self._parent._add(dimension)
+        return self._parent
+
+
+class SchemaBuilder:
+    """Fluent construction of a :class:`StarSchema`."""
+
+    def __init__(self, name: str, measure: str = "value"):
+        self.name = name
+        self.measure = measure
+        self._dimensions: List[Dimension] = []
+
+    def _add(self, dimension: Dimension) -> None:
+        if any(d.name == dimension.name for d in self._dimensions):
+            raise ValueError(f"duplicate dimension {dimension.name!r}")
+        self._dimensions.append(dimension)
+
+    def dimension(self, name: str) -> DimensionBuilder:
+        """Start an explicit dimension (declare levels coarsest first)."""
+        return DimensionBuilder(self, name)
+
+    def balanced_dimension(
+        self,
+        name: str,
+        levels: Sequence[str],
+        top_members: Sequence[str],
+        fanouts: Sequence[int],
+        member_prefixes: Optional[Sequence[str]] = None,
+    ) -> "SchemaBuilder":
+        """Add a balanced hierarchy.
+
+        ``levels`` are given finest first (matching
+        :meth:`Dimension.build_uniform`); ``fanouts[j]`` is the children
+        count one step below the top, then the next, etc."""
+        dimension = Dimension.build_uniform(
+            name,
+            level_names=levels,
+            n_top=len(top_members),
+            fanouts=fanouts,
+            member_prefixes=member_prefixes,
+        )
+        # Rename the top members to the requested names.
+        top_depth = dimension.n_levels - 1
+        for i, member_name in enumerate(top_members):
+            old = dimension.member_name(top_depth, i)
+            if old != member_name:
+                dimension._member_names[top_depth][i] = member_name  # noqa: SLF001
+                del dimension._name_lookup[old]  # noqa: SLF001
+                if member_name in dimension._name_lookup:  # noqa: SLF001
+                    raise ValueError(
+                        f"duplicate member name {member_name!r}"
+                    )
+                dimension._name_lookup[member_name] = (top_depth, i)  # noqa: SLF001
+        self._add(dimension)
+        return self
+
+    def build(self) -> StarSchema:
+        """Finalize and return the constructed object."""
+        if not self._dimensions:
+            raise ValueError(f"schema {self.name!r} has no dimensions")
+        return StarSchema(self.name, self._dimensions, measure=self.measure)

@@ -1,0 +1,94 @@
+"""LRU buffer pool with sequential/random I/O accounting.
+
+The pool caches ``(table_id, page_no)`` frames.  Callers declare the access
+pattern of each read: a *sequential* miss is charged at the cheap streaming
+rate, a *random* miss at the expensive seek rate, and a hit costs no I/O.
+This mirrors the paper's testbed, where both the Paradise buffer pool and the
+Unix file-system cache were flushed before each run so that every test starts
+cold (:meth:`BufferPool.flush` reproduces that).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Tuple
+
+from .iostats import IOStats
+from .page import Page
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .table import HeapTable
+
+FrameKey = Tuple[int, int]  # (table id, page number)
+
+#: Default pool size in pages: 16 MB of 8 KB pages, as in the paper's setup.
+DEFAULT_POOL_PAGES = 2048
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of table pages.
+
+    Pages themselves live in their table (there is no real disk); the pool
+    tracks *which* pages are resident so that hits and misses — and therefore
+    simulated I/O — are faithful to an LRU-managed real pool.
+    """
+
+    def __init__(self, stats: IOStats, capacity_pages: int = DEFAULT_POOL_PAGES):
+        if capacity_pages <= 0:
+            raise ValueError("buffer pool needs at least one page")
+        self.stats = stats
+        self.capacity_pages = capacity_pages
+        self._frames: OrderedDict[FrameKey, Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses); 0.0 before any access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get_page(self, table: "HeapTable", page_no: int, *, sequential: bool) -> Page:
+        """Fetch a page through the pool, charging simulated I/O on a miss."""
+        key = (table.table_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self._frames.move_to_end(key)
+            self.hits += 1
+            self.stats.charge_buffer_hit()
+            return frame
+        self.misses += 1
+        page = table.page(page_no)
+        if sequential:
+            self.stats.charge_seq_read()
+        else:
+            self.stats.charge_rand_read()
+        self._admit(key, page)
+        return page
+
+    def write_page(self, table: "HeapTable", page_no: int) -> None:
+        """Account a page write (used when materializing aggregates)."""
+        self.stats.charge_write()
+        self._admit((table.table_id, page_no), table.page(page_no))
+
+    def flush(self) -> None:
+        """Drop every frame — the paper's 'flush both buffer pools' step."""
+        self._frames.clear()
+
+    def resident(self, table: "HeapTable", page_no: int) -> bool:
+        """Whether a page is currently cached (no charge, no LRU touch)."""
+        return (table.table_id, page_no) in self._frames
+
+    def _admit(self, key: FrameKey, page: Page) -> None:
+        while len(self._frames) >= self.capacity_pages:
+            self._frames.popitem(last=False)
+        self._frames[key] = page
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferPool({len(self._frames)}/{self.capacity_pages} pages, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

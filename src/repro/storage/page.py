@@ -1,0 +1,94 @@
+"""Fixed-width slotted pages.
+
+A :class:`Page` holds up to ``capacity`` fixed-width rows.  Rows are plain
+Python tuples — the first columns are integer dimension keys and the last
+column is the numeric measure.  The byte-level layout is only *accounted*
+(row width in bytes drives page capacity and hence I/O cost), not actually
+serialized; this keeps the engine pure-Python fast while preserving the
+paper's I/O arithmetic (e.g. its 20-byte, five-attribute base tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+Row = Tuple  # a fixed-width tuple of ints (keys) and a numeric measure
+
+#: Default page size, matching the common 8 KB database page.
+DEFAULT_PAGE_SIZE = 8192
+
+#: Accounted bytes per column: 4-byte integers / 4-byte floats, as in the
+#: paper's 20-byte five-column base tuple.
+BYTES_PER_COLUMN = 4
+
+
+def rows_per_page(n_columns: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """How many ``n_columns``-wide rows fit in one page of ``page_size`` bytes."""
+    if n_columns <= 0:
+        raise ValueError("a row must have at least one column")
+    width = n_columns * BYTES_PER_COLUMN
+    capacity = page_size // width
+    if capacity <= 0:
+        raise ValueError(
+            f"page of {page_size} bytes cannot hold a {width}-byte row"
+        )
+    return capacity
+
+
+class Page:
+    """One page of fixed-width rows.
+
+    Pages are append-only; deletes are not needed for the read-mostly OLAP
+    workloads this engine serves.
+    """
+
+    __slots__ = ("page_no", "capacity", "rows")
+
+    def __init__(self, page_no: int, capacity: int):
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        self.page_no = page_no
+        self.capacity = capacity
+        self.rows: List[Row] = []
+
+    @property
+    def is_full(self) -> bool:
+        """True when the page has no free slot."""
+        return len(self.rows) >= self.capacity
+
+    def append(self, row: Row) -> int:
+        """Append ``row``; return its slot number within this page."""
+        if self.is_full:
+            raise ValueError(f"page {self.page_no} is full")
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Append each element in order."""
+        for row in rows:
+            self.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __getitem__(self, slot: int) -> Row:
+        return self.rows[slot]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page(no={self.page_no}, rows={len(self.rows)}/{self.capacity})"
+
+
+def pack_rows(
+    rows: Sequence[Row], n_columns: int, page_size: int = DEFAULT_PAGE_SIZE
+) -> List[Page]:
+    """Pack ``rows`` densely into a list of pages."""
+    capacity = rows_per_page(n_columns, page_size)
+    pages: List[Page] = []
+    for start in range(0, len(rows), capacity):
+        page = Page(len(pages), capacity)
+        page.extend(rows[start : start + capacity])
+        pages.append(page)
+    return pages

@@ -1,0 +1,136 @@
+"""Random MDX generation, for fuzzing the front end.
+
+Generates syntactically valid MDX expressions against any schema, together
+with the *expected* component-query set computed independently of the
+parser/translator pipeline, so tests can assert the two agree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..schema.dimension import Dimension
+from ..schema.star import StarSchema
+
+
+@dataclass
+class GeneratedAxisMember:
+    """One member reference placed on an axis, plus its expected binding."""
+
+    text: str
+    dim_index: int
+    level: int
+    member_ids: frozenset
+
+
+@dataclass
+class GeneratedMdx:
+    """A random MDX expression with its independently computed expectation.
+
+    ``expected_queries`` holds, per component query, a mapping
+    ``dim_index -> (level, member_ids)``; dimensions absent from the map
+    are expected at ALL with no predicate.
+    """
+
+    text: str
+    expected_queries: List[Dict[int, Tuple[int, frozenset]]]
+
+
+def _member_reference(
+    dim: Dimension, rng: random.Random
+) -> Tuple[str, int, frozenset]:
+    """One random member path (plain, CHILDREN, or CHILDREN-pick) →
+    (text, level, member ids)."""
+    style = rng.choice(["plain", "children", "pick"])
+    if style == "plain" or dim.n_levels == 1:
+        level = rng.randrange(dim.n_levels)
+        member = rng.randrange(dim.n_members(level))
+        name = dim.member_name(level, member)
+        qualifier = dim.level_name(level)
+        text = f"{qualifier}.{name}" if qualifier != name else name
+        return text, level, frozenset({member})
+    parent_level = rng.randrange(1, dim.n_levels)
+    parent = rng.randrange(dim.n_members(parent_level))
+    parent_name = dim.member_name(parent_level, parent)
+    children = dim.children(parent_level, parent)
+    base = f"{dim.level_name(parent_level)}.{parent_name}.CHILDREN"
+    if style == "children":
+        return base, parent_level - 1, frozenset(children)
+    pick = rng.choice(children)
+    pick_name = dim.member_name(parent_level - 1, pick)
+    return f"{base}.{pick_name}", parent_level - 1, frozenset({pick})
+
+
+def generate_mdx(
+    schema: StarSchema,
+    rng: random.Random,
+    max_axes: int = 3,
+    max_members_per_axis: int = 3,
+) -> GeneratedMdx:
+    """Generate one valid MDX expression over ``schema``.
+
+    Each axis carries one dimension (sets may mix levels, splitting into
+    several component queries); an optional FILTER slices one further
+    dimension.
+    """
+    axis_names = ["COLUMNS", "ROWS", "PAGES"]
+    n_axes = rng.randint(1, min(max_axes, schema.n_dims, len(axis_names)))
+    dims = rng.sample(range(schema.n_dims), n_axes)
+    axis_specs: List[List[GeneratedAxisMember]] = []
+    clauses: List[str] = []
+    for axis_index, dim_index in enumerate(dims):
+        dim = schema.dimensions[dim_index]
+        members: List[GeneratedAxisMember] = []
+        for _ in range(rng.randint(1, max_members_per_axis)):
+            text, level, ids = _member_reference(dim, rng)
+            members.append(
+                GeneratedAxisMember(text, dim_index, level, ids)
+            )
+        axis_specs.append(members)
+        inner = ", ".join(m.text for m in members)
+        clauses.append(f"{{{inner}}} on {axis_names[axis_index]}")
+    # Optional slicer on an unused dimension.
+    slicer: Optional[GeneratedAxisMember] = None
+    unused = [d for d in range(schema.n_dims) if d not in dims]
+    if unused and rng.random() < 0.7:
+        dim_index = rng.choice(unused)
+        dim = schema.dimensions[dim_index]
+        level = rng.randrange(dim.n_levels)
+        member = rng.randrange(dim.n_members(level))
+        slicer = GeneratedAxisMember(
+            f"{dim.level_name(level)}.{dim.member_name(level, member)}",
+            dim_index,
+            level,
+            frozenset({member}),
+        )
+        clauses.append(f"CONTEXT {schema.name.replace('-', '_')} "
+                       f"FILTER ({slicer.text})")
+    else:
+        clauses.append(f"CONTEXT {schema.name.replace('-', '_')}")
+    text = "\n".join(clauses)
+
+    # Independently compute the expected component queries: group each
+    # axis's members by level, cross the groups.
+    per_axis_groups: List[List[Tuple[int, int, frozenset]]] = []
+    for members in axis_specs:
+        by_level: Dict[int, Set[int]] = {}
+        for member in members:
+            by_level.setdefault(member.level, set()).update(member.member_ids)
+        groups = [
+            (members[0].dim_index, level, frozenset(ids))
+            for level, ids in sorted(by_level.items())
+        ]
+        per_axis_groups.append(groups)
+    expected: List[Dict[int, Tuple[int, frozenset]]] = []
+    import itertools
+
+    for combo in itertools.product(*per_axis_groups):
+        spec: Dict[int, Tuple[int, frozenset]] = {
+            dim_index: (level, ids) for dim_index, level, ids in combo
+        }
+        if slicer is not None:
+            spec[slicer.dim_index] = (slicer.level, slicer.member_ids)
+        expected.append(spec)
+    return GeneratedMdx(text=text, expected_queries=expected)

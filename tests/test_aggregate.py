@@ -1,0 +1,150 @@
+"""Unit and property tests for the hash aggregation operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators.aggregate import HashAggregator
+from repro.schema.query import Aggregate, GroupBy, GroupByQuery
+from repro.storage.iostats import IOStats
+
+from conftest import make_tiny_schema
+
+SCHEMA = make_tiny_schema()  # X: 12/6/2 leaves/mids/tops; Y: 8/4/2.
+
+
+def make_aggregator(levels=(1, 1), aggregate=Aggregate.SUM):
+    query = GroupByQuery(groupby=GroupBy(levels), aggregate=aggregate)
+    return HashAggregator(SCHEMA, query)
+
+
+def feed(agg, columns, measures, batches=1):
+    stats = IOStats()
+    columns = [np.asarray(c, dtype=np.int64) for c in columns]
+    measures = np.asarray(measures, dtype=np.float64)
+    n = measures.size
+    step = max(1, n // batches)
+    for start in range(0, n, step):
+        agg.update(
+            [c[start : start + step] for c in columns],
+            measures[start : start + step],
+            stats,
+        )
+    return stats
+
+
+class TestSum:
+    def test_simple_groups(self):
+        agg = make_aggregator()
+        feed(agg, [[0, 0, 1], [0, 0, 0]], [1.0, 2.0, 4.0])
+        result = agg.result()
+        assert result.groups == {(0, 0): 3.0, (1, 0): 4.0}
+
+    def test_multi_batch_equals_single_batch(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 6, 200)
+        ys = rng.integers(0, 4, 200)
+        ms = rng.uniform(0, 10, 200)
+        one = make_aggregator()
+        feed(one, [xs, ys], ms, batches=1)
+        many = make_aggregator()
+        feed(many, [xs, ys], ms, batches=7)
+        assert one.result().approx_equals(many.result())
+
+    def test_empty_batch_is_noop(self):
+        agg = make_aggregator()
+        stats = feed(agg, [[], []], [])
+        assert agg.result().groups == {}
+        assert stats.agg_updates == 0
+
+    def test_charges_per_tuple(self):
+        agg = make_aggregator()
+        stats = feed(agg, [[0, 1, 2], [0, 1, 2]], [1.0, 1.0, 1.0])
+        assert stats.agg_updates == 3
+
+    def test_all_level_dimension_carries_zero(self):
+        agg = make_aggregator(levels=(1, SCHEMA.dimensions[1].all_level))
+        feed(agg, [[2, 2], [0, 0]], [5.0, 7.0])
+        assert agg.result().groups == {(2, 0): 12.0}
+
+
+class TestOtherAggregates:
+    def test_count(self):
+        agg = make_aggregator(aggregate=Aggregate.COUNT)
+        feed(agg, [[0, 0, 1], [0, 0, 0]], [9.0, 9.0, 9.0])
+        assert agg.result().groups == {(0, 0): 2.0, (1, 0): 1.0}
+
+    def test_min_across_batches(self):
+        agg = make_aggregator(aggregate=Aggregate.MIN)
+        feed(agg, [[0, 0], [0, 0]], [5.0, 3.0], batches=2)
+        feed(agg, [[0], [0]], [4.0])
+        assert agg.result().groups == {(0, 0): 3.0}
+
+    def test_max_across_batches(self):
+        agg = make_aggregator(aggregate=Aggregate.MAX)
+        feed(agg, [[0, 1], [0, 0]], [5.0, 3.0], batches=2)
+        feed(agg, [[1], [0]], [9.0])
+        assert agg.result().groups == {(0, 0): 5.0, (1, 0): 9.0}
+
+
+@st.composite
+def batches_strategy(draw):
+    n = draw(st.integers(1, 120))
+    xs = draw(
+        st.lists(st.integers(0, 5), min_size=n, max_size=n)
+    )
+    ys = draw(
+        st.lists(st.integers(0, 3), min_size=n, max_size=n)
+    )
+    ms = draw(
+        st.lists(
+            st.floats(
+                min_value=-100, max_value=100, allow_nan=False, width=32
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return xs, ys, ms
+
+
+class TestAvg:
+    def test_simple_average(self):
+        agg = make_aggregator(aggregate=Aggregate.AVG)
+        feed(agg, [[0, 0, 1], [0, 0, 0]], [2.0, 4.0, 10.0])
+        assert agg.result().groups == {(0, 0): 3.0, (1, 0): 10.0}
+
+    def test_average_across_batches(self):
+        agg = make_aggregator(aggregate=Aggregate.AVG)
+        feed(agg, [[0], [0]], [1.0])
+        feed(agg, [[0, 0], [0, 0]], [2.0, 9.0])
+        assert agg.result().groups == {(0, 0): pytest.approx(4.0)}
+
+
+class TestAgainstBruteForce:
+    @given(batches_strategy(), st.sampled_from(list(Aggregate)))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_accumulation(self, data, aggregate):
+        xs, ys, ms = data
+        agg = make_aggregator(aggregate=aggregate)
+        feed(agg, [xs, ys], ms, batches=3)
+        expected = {}
+        counts = {}
+        for x, y, m in zip(xs, ys, ms):
+            key = (x, y)
+            counts[key] = counts.get(key, 0) + 1
+            if aggregate in (Aggregate.SUM, Aggregate.AVG):
+                expected[key] = expected.get(key, 0.0) + m
+            elif aggregate is Aggregate.COUNT:
+                expected[key] = expected.get(key, 0.0) + 1
+            elif aggregate is Aggregate.MIN:
+                expected[key] = min(expected.get(key, m), m)
+            else:
+                expected[key] = max(expected.get(key, m), m)
+        if aggregate is Aggregate.AVG:
+            expected = {k: v / counts[k] for k, v in expected.items()}
+        got = agg.result().groups
+        assert set(got) == set(expected)
+        for key, value in expected.items():
+            assert got[key] == pytest.approx(value, rel=1e-9, abs=1e-6)

@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness itself (it guards the reproduction, so
+it gets its own tests)."""
+
+import pytest
+
+from repro.bench.harness import (
+    AlgorithmRow,
+    SharingRow,
+    run_algorithm_comparison,
+    run_forced_class,
+    run_separately,
+    run_test1_shared_scan,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.core.optimizer.plans import JoinMethod
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_tiny_db(n_rows=400, materialized=("X'Y'",), index_tables=("XY",))
+
+
+def hq(label):
+    return GroupByQuery(groupby=GroupBy((1, 1)), label=label)
+
+
+def iq(label, member=0):
+    return GroupByQuery(
+        groupby=GroupBy((1, 2)),
+        predicates=(DimPredicate(0, 0, frozenset({member})),),
+        label=label,
+    )
+
+
+class TestForcedRuns:
+    def test_forced_class_uses_requested_methods(self, db):
+        run = run_forced_class(
+            db, "XY", [hq("f1"), iq("f2")],
+            [JoinMethod.HASH, JoinMethod.INDEX],
+        )
+        assert len(run.results) == 2
+        assert run.sim_ms == pytest.approx(run.io_ms + run.cpu_ms)
+
+    def test_cold_run_deterministic(self, db):
+        first = run_forced_class(db, "XY", [hq("d")], [JoinMethod.HASH])
+        second = run_forced_class(db, "XY", [hq("d")], [JoinMethod.HASH])
+        assert first.sim_ms == pytest.approx(second.sim_ms)
+
+    def test_separately_sums_runs(self, db):
+        queries = [hq("s1"), hq("s2")]
+        methods = [JoinMethod.HASH] * 2
+        combined = run_separately(db, "XY", queries, methods)
+        singles = [
+            run_forced_class(db, "XY", [q], [m])
+            for q, m in zip(queries, methods)
+        ]
+        assert combined.sim_ms == pytest.approx(sum(s.sim_ms for s in singles))
+        assert combined.seq_page_reads == sum(
+            s.seq_page_reads for s in singles
+        )
+        assert len(combined.results) == 2
+
+
+class TestSharingSweep:
+    def test_rows_cover_prefixes(self, db):
+        rows = run_test1_shared_scan(db, [hq("p1"), hq("p2"), hq("p3")],
+                                     source="XY")
+        assert [r.n_queries for r in rows] == [1, 2, 3]
+        assert rows[0].separate_ms == pytest.approx(rows[0].shared_ms)
+
+    def test_speedup_property(self):
+        row = SharingRow(2, 100.0, 50.0, 0, 0, 0, 0)
+        assert row.speedup == pytest.approx(2.0)
+        zero = SharingRow(1, 10.0, 0.0, 0, 0, 0, 0)
+        assert zero.speedup == 0.0
+
+
+class TestAlgorithmComparison:
+    def test_rows_per_algorithm(self, db):
+        queries = [hq("c1"), iq("c2")]
+        rows = run_algorithm_comparison(db, queries, ("naive", "gg"))
+        assert [r.algorithm for r in rows] == ["naive", "gg"]
+        for row in rows:
+            assert isinstance(row, AlgorithmRow)
+            assert row.sim_ms > 0
+            assert set(row.results) == {q.qid for q in queries}
+
+    def test_detects_answer_mismatch(self, db, monkeypatch):
+        """The comparison harness must fail loudly if algorithms ever
+        disagree on answers."""
+        from repro.bench import harness
+
+        queries = [hq("m1")]
+        original_execute = db.execute
+        calls = {"n": 0}
+
+        def corrupting_execute(plan, cold=True):
+            report = original_execute(plan, cold=cold)
+            calls["n"] += 1
+            if calls["n"] == 2:  # corrupt the second algorithm's answers
+                for result in report.results.values():
+                    for key in list(result.groups):
+                        result.groups[key] += 1.0
+            return report
+
+        monkeypatch.setattr(db, "execute", corrupting_execute)
+        with pytest.raises(AssertionError, match="different answers"):
+            harness.run_algorithm_comparison(db, queries, ("naive", "gg"))
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "value"], [("a", 1.5), ("long-name", 20.25)]
+        )
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line}) == 1  # aligned
+        assert "long-name" in text
+        assert "20.2" in text  # floats rendered to one decimal
+
+    def test_format_table_title(self):
+        text = format_table(["h"], [("x",)], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [3.0, 4.5])
+        assert text == "s: 1=3.0, 2=4.5"

@@ -1,0 +1,113 @@
+"""CLI tests (driven in-process through repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--scale", "0.002"]
+
+
+class TestInfo:
+    def test_info_lists_tables(self, capsys):
+        assert main(["info", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "ABCD" in out
+        assert "A'B'C'D" in out
+        assert "indexes" in out
+
+
+class TestRun:
+    MDX = "{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D.DD1)"
+
+    def test_run_inline_mdx(self, capsys):
+        assert main(["run", self.MDX, *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "1 component group-by query(ies)" in out
+        assert "group(s)" in out
+
+    def test_run_with_explain(self, capsys):
+        assert main(["run", self.MDX, "--explain", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "GlobalPlan[gg]" in out
+
+    def test_run_algorithm_choice(self, capsys):
+        assert main(["run", self.MDX, "--algorithm", "tplo", *SCALE]) == 0
+        assert "tplo" in capsys.readouterr().out
+
+    def test_run_from_file(self, tmp_path, capsys):
+        path = tmp_path / "query.mdx"
+        path.write_text(self.MDX)
+        assert main(["run", "--file", str(path), *SCALE]) == 0
+        assert "component" in capsys.readouterr().out
+
+    def test_run_without_mdx_fails(self, capsys):
+        assert main(["run", *SCALE]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_limit_truncates_output(self, capsys):
+        assert main(["run", self.MDX, "--limit", "1", *SCALE]) == 0
+        assert "more" in capsys.readouterr().out
+
+    def test_pivot_layout(self, capsys):
+        mdx = ("{A''.A1, A''.A2} on COLUMNS {B''.B1} on ROWS "
+               "CONTEXT ABCD FILTER (D.DD1)")
+        assert main(["run", mdx, "--pivot", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "A2" in out and "B1" in out
+        assert "component query" in out
+
+
+class TestCompare:
+    def test_compare_single_test(self, capsys):
+        assert main(["compare", "--tests", "test6", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "test6" in out
+        for algorithm in ("naive", "tplo", "etplg", "gg", "optimal"):
+            assert algorithm in out
+
+    def test_compare_unknown_test(self, capsys):
+        assert main(["compare", "--tests", "nope", *SCALE]) == 2
+        assert "unknown tests" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_figures_prints_three_tables(self, capsys):
+        assert main(["figures", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "Figure 11" in out
+        assert "Figure 12" in out
+        assert "speedup" in out
+
+
+class TestSelectViews:
+    def test_select_views(self, capsys):
+        assert main(["select-views", "--budget", "3", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Greedy view selection" in out
+        assert "benefit" in out
+
+    def test_select_and_materialize(self, capsys):
+        assert main(
+            ["select-views", "--budget", "2", "--materialize", *SCALE]
+        ) == 0
+        assert "materialized:" in capsys.readouterr().out
+
+
+class TestPersistFlow:
+    def test_save_then_run_from_saved(self, tmp_path, capsys):
+        store = str(tmp_path / "paperdb")
+        assert main(["info", "--save", store, *SCALE]) == 0
+        assert "saved to" in capsys.readouterr().out
+        assert main(["run", TestRun.MDX, "--database", store]) == 0
+        assert "group(s)" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

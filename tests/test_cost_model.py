@@ -1,0 +1,162 @@
+"""Unit tests for the Section 5.1 cost model."""
+
+import pytest
+
+from repro.core.optimizer.cost import CostModel
+from repro.core.optimizer.plans import JoinMethod
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_tiny_db(
+        n_rows=800,
+        materialized=("X'Y", "X'Y'"),
+        index_tables=("XY",),
+    )
+
+
+@pytest.fixture(scope="module")
+def model(db):
+    return CostModel(db.schema, db.catalog, db.stats.rates)
+
+
+def hash_query(levels=(1, 1), preds=()):
+    return GroupByQuery(groupby=GroupBy(levels), predicates=tuple(preds))
+
+
+def selective_query():
+    # One leaf member on each dimension: selectivity 1/96 on the base table,
+    # firmly in index-join territory.
+    return GroupByQuery(
+        groupby=GroupBy((1, 2)),
+        predicates=(
+            DimPredicate(0, 0, frozenset({3})),
+            DimPredicate(1, 0, frozenset({2})),
+        ),
+    )
+
+
+class TestFeasibility:
+    def test_can_index_needs_an_indexed_predicate(self, db, model):
+        base = db.catalog.get("XY")
+        view = db.catalog.get("X'Y")
+        assert model.can_index(base, selective_query())
+        assert not model.can_index(view, selective_query())  # no indexes
+        assert not model.can_index(base, hash_query())  # no predicates
+
+    def test_find_index_translates_coarse_predicates(self, db, model):
+        base = db.catalog.get("XY")
+        pred = DimPredicate(0, 2, frozenset({0}))  # top level, index at leaf
+        found = model.find_index(base, pred)
+        assert found is not None
+        index, n_lookups = found
+        assert index.level == 0
+        assert n_lookups == 6  # 6 leaves per top member of X
+
+    def test_plan_class_none_when_unanswerable(self, db, model):
+        view = db.catalog.get("X'Y'")
+        leaf_query = hash_query((0, 0))
+        assert model.plan_class(view, [leaf_query]) is None
+
+
+class TestStandaloneCosts:
+    def test_positive(self, db, model):
+        for entry in db.catalog.entries():
+            result = model.standalone(entry, hash_query((1, 1)))
+            if result is not None:
+                assert result[1] > 0
+
+    def test_hash_cost_grows_with_table_size(self, db, model):
+        query = hash_query((2, 2))
+        base_cost = model.standalone(db.catalog.get("XY"), query)[1]
+        view_cost = model.standalone(db.catalog.get("X'Y'"), query)[1]
+        assert view_cost < base_cost
+
+    def test_best_local_prefers_small_table(self, db, model):
+        # X'Y' is the smallest table able to answer the (X', Y') group-by.
+        entry, _method, _cost = model.best_local(hash_query((1, 1)))
+        assert entry.name == "X'Y'"
+
+    def test_best_local_respects_answerability(self, db, model):
+        entry, _method, _cost = model.best_local(hash_query((0, 0)))
+        assert entry.name == "XY"
+
+    def test_selective_query_prefers_index(self, db, model):
+        method, _cost = model.standalone(db.catalog.get("XY"), selective_query())
+        assert method is JoinMethod.INDEX
+
+    def test_unselective_query_prefers_hash(self, db, model):
+        method, _cost = model.standalone(db.catalog.get("XY"), hash_query((1, 1)))
+        assert method is JoinMethod.HASH
+
+
+class TestClassCosts:
+    def test_sharing_beats_separate_hash_scans(self, db, model):
+        entry = db.catalog.get("XY")
+        queries = [hash_query((1, 1)), hash_query((2, 1)), hash_query((1, 2))]
+        shared = model.plan_class(entry, queries).cost_ms
+        separate = sum(model.plan_class(entry, [q]).cost_ms for q in queries)
+        assert shared < separate
+
+    def test_marginal_cost_below_standalone_for_hash(self, db, model):
+        entry = db.catalog.get("XY")
+        q1, q2 = hash_query((1, 1)), hash_query((2, 2))
+        grown = model.plan_class(entry, [q1, q2]).cost_ms
+        alone = model.plan_class(entry, [q1]).cost_ms
+        standalone_q2 = model.plan_class(entry, [q2]).cost_ms
+        assert grown - alone < standalone_q2
+
+    def test_class_cost_given_matches_plan_class_when_methods_agree(
+        self, db, model
+    ):
+        entry = db.catalog.get("XY")
+        queries = [hash_query((1, 1)), hash_query((2, 1))]
+        costing = model.plan_class(entry, queries)
+        fixed = model.class_cost_given(entry, queries, costing.methods)
+        assert fixed == pytest.approx(costing.cost_ms)
+
+    def test_class_cost_given_validates_arity(self, db, model):
+        entry = db.catalog.get("XY")
+        with pytest.raises(ValueError):
+            model.class_cost_given(entry, [hash_query()], [])
+
+    def test_class_cost_given_rejects_impossible_index(self, db, model):
+        entry = db.catalog.get("X'Y")  # no indexes
+        with pytest.raises(ValueError):
+            model.class_cost_given(
+                entry, [selective_query()], [JoinMethod.INDEX]
+            )
+
+    def test_plan_class_picks_cheaper_configuration(self, db, model):
+        entry = db.catalog.get("XY")
+        costing = model.plan_class(entry, [selective_query()])
+        scan = model._scan_class(entry, [selective_query()])
+        index = model._index_class(entry, [selective_query()])
+        best = min(
+            [c.cost_ms for c in (scan, index) if c is not None]
+        )
+        assert costing.cost_ms == pytest.approx(best)
+
+    def test_empty_class_rejected(self, db, model):
+        with pytest.raises(ValueError):
+            model.plan_class(db.catalog.get("XY"), [])
+
+
+class TestEstimateVsSimulation:
+    def test_hash_estimate_tracks_simulation(self, db, model):
+        """The model's hash-class estimate should be within 2x of the
+        simulated execution (same charge units)."""
+        from repro.bench.harness import run_forced_class
+
+        entry = db.catalog.get("XY")
+        queries = [hash_query((1, 1)), hash_query((2, 2))]
+        est = model.class_cost_given(
+            entry, queries, [JoinMethod.HASH, JoinMethod.HASH]
+        )
+        run = run_forced_class(
+            db, "XY", queries, [JoinMethod.HASH, JoinMethod.HASH]
+        )
+        assert est == pytest.approx(run.sim_ms, rel=1.0)

@@ -1,0 +1,42 @@
+"""Tests for EXPLAIN ANALYZE on execution reports."""
+
+import pytest
+
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_tiny_db(n_rows=400, materialized=("X'Y'",), index_tables=("XY",))
+
+
+class TestExplainAnalyze:
+    def test_contains_trees_and_measurements(self, db):
+        queries = [
+            GroupByQuery(groupby=GroupBy((1, 1)), label="ea1"),
+            GroupByQuery(
+                groupby=GroupBy((1, 2)),
+                predicates=(DimPredicate(0, 0, frozenset({0})),),
+                label="ea2",
+            ),
+        ]
+        plan = db.optimize(queries, "gg")
+        report = db.execute(plan)
+        text = report.explain_analyze(db.schema, db.catalog)
+        assert report.summary() in text
+        assert "est" in text and "actual" in text
+        assert "%" in text
+        for cls in plan.classes:
+            assert cls.source in text
+
+    def test_gap_small_for_hash_plans(self, db):
+        """Hash estimates share formulas with the charges, so the analyzed
+        gap must be tight."""
+        query = GroupByQuery(groupby=GroupBy((1, 1)), label="tight")
+        plan = db.optimize([query], "gg")
+        report = db.execute(plan)
+        est = plan.classes[0].est_cost_ms
+        actual = report.class_executions[0].sim_ms
+        assert actual == pytest.approx(est, rel=0.35)

@@ -1,0 +1,142 @@
+"""Unit and property tests for the group-by lattice and estimators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.lattice import (
+    ancestors,
+    can_answer,
+    common_sources,
+    descendants,
+    enumerate_lattice,
+    estimate_groupby_rows,
+    expected_distinct,
+    expected_pages_touched,
+    groupby_domain_size,
+    lattice_size,
+)
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+
+class TestExpectedDistinct:
+    def test_zero_inputs(self):
+        assert expected_distinct(0, 100) == 0.0
+        assert expected_distinct(100, 0) == 0.0
+
+    def test_saturates_at_domain(self):
+        assert expected_distinct(10, 10_000) == pytest.approx(10.0)
+
+    def test_sparse_regime_near_n(self):
+        # Far fewer draws than the domain: almost no collisions.
+        assert expected_distinct(1_000_000, 100) == pytest.approx(100, rel=0.01)
+
+    @given(
+        m=st.integers(1, 10_000),
+        n=st.integers(1, 100_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, m, n):
+        d = expected_distinct(m, n)
+        assert 0 < d <= min(m, n) + 1e-9
+
+    @given(m=st.integers(1, 1000), n=st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_n(self, m, n):
+        assert expected_distinct(m, n + 1) >= expected_distinct(m, n) - 1e-12
+
+
+class TestDomainAndRows:
+    def test_domain_size(self, paper_schema):
+        # A', B'', C leaf, D ALL: 9 * 3 * n_leaf(C) * 1.
+        c_leaf = paper_schema.dimensions[2].n_members(0)
+        assert groupby_domain_size(paper_schema, (1, 2, 0, 3)) == 9 * 3 * c_leaf
+
+    def test_estimate_rows_saturated(self, paper_schema):
+        # A huge base table saturates a small group-by's domain.
+        domain = groupby_domain_size(paper_schema, (2, 2, 2, 2))
+        assert estimate_groupby_rows(paper_schema, (2, 2, 2, 2), 10**7) == domain
+
+    def test_estimate_rows_at_least_one(self, paper_schema):
+        assert estimate_groupby_rows(paper_schema, (0, 0, 0, 0), 1) >= 1
+
+
+class TestPagesTouched:
+    def test_zero_rows(self):
+        assert expected_pages_touched(1000, 100, 0) == 0.0
+
+    def test_all_rows_touch_all_pages(self):
+        assert expected_pages_touched(1000, 100, 1000) == pytest.approx(
+            100, rel=0.01
+        )
+
+    def test_k_clamped_to_n(self):
+        a = expected_pages_touched(100, 10, 100)
+        b = expected_pages_touched(100, 10, 10_000)
+        assert a == b
+
+
+class TestCanAnswer:
+    def make_query(self):
+        return GroupByQuery(
+            groupby=GroupBy((1, 2, 3, 3)),
+            predicates=(DimPredicate(1, 1, frozenset({0})),),
+        )
+
+    def test_requires_fine_enough_source(self):
+        query = self.make_query()
+        assert can_answer((0, 0, 0, 0), query)
+        assert can_answer((1, 1, 3, 3), query)
+        assert not can_answer((1, 2, 3, 3), query)  # pred needs B at level 1
+        assert not can_answer((2, 0, 0, 0), query)
+
+    def test_common_sources(self):
+        query = self.make_query()
+        other = GroupByQuery(groupby=GroupBy((0, 3, 3, 3)))
+        sources = [
+            ("base", (0, 0, 0, 0)),
+            ("mid", (1, 1, 3, 3)),
+            ("coarse", (2, 2, 3, 3)),
+        ]
+        assert common_sources(sources, [query]) == ["base", "mid"]
+        assert common_sources(sources, [query, other]) == ["base"]
+
+
+class TestEnumeration:
+    def test_lattice_size(self, paper_schema):
+        assert lattice_size(paper_schema) == 4**4
+
+    def test_enumerate_yields_all_unique(self, paper_schema):
+        points = list(enumerate_lattice(paper_schema))
+        assert len(points) == 4**4
+        assert len(set(points)) == len(points)
+        assert points[0].levels == (0, 0, 0, 0)
+        assert points[-1].levels == (3, 3, 3, 3)
+
+    def test_enumerate_sorted_finest_first(self, paper_schema):
+        points = list(enumerate_lattice(paper_schema))
+        sums = [p.level_sum() for p in points]
+        assert sums == sorted(sums)
+
+    def test_ancestors_are_derivable(self, paper_schema):
+        gb = GroupBy((1, 1, 2, 3))
+        ancs = list(ancestors(paper_schema, gb))
+        assert all(a.derivable_from(gb) for a in ancs)
+        assert gb not in ancs
+        assert len(ancs) == (3 - 1 + 1) * (3 - 1 + 1) * (3 - 2 + 1) * 1 - 1
+
+    def test_descendants_can_derive(self, paper_schema):
+        gb = GroupBy((1, 0, 3, 3))
+        descs = list(descendants(paper_schema, gb))
+        assert all(gb.derivable_from(d) for d in descs)
+        assert gb not in descs
+        assert len(descs) == 2 * 1 * 4 * 4 - 1
+
+    def test_duality(self, paper_schema):
+        """b in ancestors(a) iff a in descendants(b)."""
+        a = GroupBy((1, 1, 1, 1))
+        b = GroupBy((2, 1, 2, 1))
+        assert b in set(ancestors(paper_schema, a))
+        assert a in set(descendants(paper_schema, b))

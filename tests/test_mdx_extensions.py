@@ -1,0 +1,104 @@
+"""Tests for MDX extensions beyond the paper's subset: MEMBERS and PARENT."""
+
+import pytest
+
+from repro.mdx import translate_mdx
+from repro.mdx.ast import MemberPath
+from repro.mdx.resolver import MdxResolutionError, resolve_path
+
+
+def path(*segments):
+    return MemberPath(segments=tuple(segments))
+
+
+class TestMembers:
+    def test_level_members(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A''", "MEMBERS"))
+        assert sel.dim_index == 0
+        assert sel.level == 2
+        assert sel.member_ids == frozenset({0, 1, 2})
+
+    def test_mid_level_members(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A'", "MEMBERS"))
+        assert sel.level == 1
+        assert len(sel.member_ids) == 9
+
+    def test_dimension_members_defaults_to_leaf(self, paper_schema):
+        sel = resolve_path(paper_schema, path("D", "MEMBERS"))
+        assert sel.dim_index == 3
+        assert sel.level == 0
+        assert len(sel.member_ids) == paper_schema.dimensions[3].n_members(0)
+
+    def test_members_then_children(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A''", "MEMBERS", "CHILDREN"))
+        assert sel.level == 1
+        assert len(sel.member_ids) == 9
+
+    def test_unqualified_members_rejected(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="qualifier"):
+            resolve_path(paper_schema, path("MEMBERS"))
+
+    def test_members_in_full_expression(self, paper_schema):
+        queries = translate_mdx(
+            paper_schema,
+            "{B''.MEMBERS} on COLUMNS CONTEXT ABCD FILTER (D.DD1)",
+        )
+        assert len(queries) == 1
+        pred = queries[0].predicate_on(1)
+        assert pred.level == 2
+        assert pred.member_ids == frozenset({0, 1, 2})
+
+
+class TestParent:
+    def test_parent_of_mid_member(self, paper_schema):
+        sel = resolve_path(paper_schema, path("AA5", "PARENT"))
+        assert sel.level == 2
+        assert sel.member_ids == frozenset({1})  # AA5 is a child of A2
+
+    def test_children_then_parent_roundtrip(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A1", "CHILDREN", "PARENT"))
+        assert sel.level == 2
+        assert sel.member_ids == frozenset({0})
+
+    def test_parent_of_top_rejected(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="no parent"):
+            resolve_path(paper_schema, path("A1", "PARENT"))
+
+    def test_parent_in_full_expression(self, paper_schema):
+        queries = translate_mdx(
+            paper_schema,
+            "{AA4.PARENT} on COLUMNS CONTEXT ABCD",
+        )
+        assert len(queries) == 1
+        pred = queries[0].predicate_on(0)
+        assert pred.level == 2
+        assert pred.member_ids == frozenset({1})
+
+    def test_parent_merges_siblings(self, paper_schema):
+        # AA4 and AA5 share parent A2: one member after PARENT.
+        queries = translate_mdx(
+            paper_schema,
+            "{AA4.PARENT, AA5.PARENT} on COLUMNS CONTEXT ABCD",
+        )
+        assert queries[0].predicate_on(0).member_ids == frozenset({1})
+
+
+class TestInteractionWithPaperSubset:
+    def test_members_and_literal_sets_agree(self, paper_schema):
+        via_members = translate_mdx(
+            paper_schema, "{A''.MEMBERS} on COLUMNS CONTEXT ABCD"
+        )[0]
+        via_list = translate_mdx(
+            paper_schema,
+            "{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD",
+        )[0]
+        assert via_members.groupby == via_list.groupby
+        assert set(via_members.predicates) == set(via_list.predicates)
+
+    def test_members_executes(self, paper_db):
+        report = paper_db.run_mdx(
+            "{A''.MEMBERS} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD "
+            "FILTER (D.DD1)"
+        )
+        result = next(iter(report.results.values()))
+        assert result.n_groups > 0

@@ -1,0 +1,74 @@
+"""Fuzz tests: random MDX expressions round-trip through the full front
+end and match an independently computed expectation."""
+
+import random
+
+import pytest
+
+from repro.mdx import parse_mdx, translate_mdx
+from repro.workload.mdx_generator import generate_mdx
+from repro.workload.sales_demo import build_sales_schema
+
+from conftest import make_tiny_schema
+
+
+def spec_of(schema, query):
+    """The (dim -> (level, members)) spec of a translated query."""
+    spec = {}
+    for pred in query.predicates:
+        spec[pred.dim_index] = (pred.level, pred.member_ids)
+    # Axis dims without predicates can't occur in generated MDX (every
+    # reference carries members), so the predicate map is the full spec.
+    return spec
+
+
+class TestGeneratedMdx:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_roundtrip_against_expectation(self, paper_schema, seed):
+        rng = random.Random(seed)
+        generated = generate_mdx(paper_schema, rng)
+        queries = translate_mdx(paper_schema, generated.text)
+        got = [spec_of(paper_schema, q) for q in queries]
+        want = generated.expected_queries
+        assert len(got) == len(want), generated.text
+        canonical = lambda specs: sorted(  # noqa: E731
+            (tuple(sorted(s.items())) for s in specs)
+        )
+        assert canonical(got) == canonical(want), generated.text
+
+    @pytest.mark.parametrize("seed", range(30, 45))
+    def test_tiny_schema_roundtrip(self, tiny_schema, seed):
+        rng = random.Random(seed)
+        generated = generate_mdx(tiny_schema, rng, max_axes=2)
+        queries = translate_mdx(tiny_schema, generated.text)
+        assert len(queries) == len(generated.expected_queries)
+
+    @pytest.mark.parametrize("seed", range(45, 60))
+    def test_generated_mdx_parses_and_prints_stably(self, paper_schema, seed):
+        rng = random.Random(seed)
+        generated = generate_mdx(paper_schema, rng)
+        first = parse_mdx(generated.text)
+        second = parse_mdx(str(first))
+        assert str(first) == str(second)
+
+    @pytest.mark.parametrize("seed", range(60, 70))
+    def test_generated_queries_execute(self, paper_db, seed):
+        rng = random.Random(seed)
+        generated = generate_mdx(paper_db.schema, rng, max_members_per_axis=2)
+        report = paper_db.run_mdx(generated.text, "gg")
+        assert len(report.results) >= 1
+
+    def test_sales_schema_generation(self):
+        schema = build_sales_schema()
+        rng = random.Random(7)
+        for _ in range(10):
+            generated = generate_mdx(schema, rng, max_axes=2)
+            queries = translate_mdx(schema, generated.text)
+            assert len(queries) == len(generated.expected_queries)
+
+    def test_target_levels_match_predicates(self, paper_schema):
+        rng = random.Random(99)
+        generated = generate_mdx(paper_schema, rng)
+        for query in translate_mdx(paper_schema, generated.text):
+            for pred in query.predicates:
+                assert query.groupby.levels[pred.dim_index] == pred.level

@@ -1,0 +1,65 @@
+"""Unit tests for the random MDX generator (the fuzz suite exercises its
+round-trip property; these pin its structure and determinism)."""
+
+import random
+
+import pytest
+
+from repro.workload.mdx_generator import GeneratedMdx, generate_mdx
+
+
+class TestDeterminism:
+    def test_same_seed_same_expression(self, paper_schema):
+        a = generate_mdx(paper_schema, random.Random(42))
+        b = generate_mdx(paper_schema, random.Random(42))
+        assert a.text == b.text
+        assert a.expected_queries == b.expected_queries
+
+    def test_different_seeds_differ(self, paper_schema):
+        texts = {
+            generate_mdx(paper_schema, random.Random(seed)).text
+            for seed in range(8)
+        }
+        assert len(texts) > 1
+
+
+class TestStructure:
+    def test_axes_use_distinct_dimensions(self, paper_schema):
+        for seed in range(10):
+            generated = generate_mdx(paper_schema, random.Random(seed))
+            # A valid expression must have a CONTEXT clause and >=1 axis.
+            assert "CONTEXT" in generated.text
+            assert "on COLUMNS" in generated.text
+
+    def test_max_axes_respected(self, paper_schema):
+        for seed in range(10):
+            generated = generate_mdx(
+                paper_schema, random.Random(seed), max_axes=1
+            )
+            assert "on ROWS" not in generated.text
+            assert "on PAGES" not in generated.text
+
+    def test_expected_queries_cover_cross_product(self, paper_schema):
+        generated = generate_mdx(paper_schema, random.Random(3))
+        assert isinstance(generated, GeneratedMdx)
+        assert len(generated.expected_queries) >= 1
+        # Every expected spec maps dimensions to (level, members).
+        for spec in generated.expected_queries:
+            for dim_index, (level, members) in spec.items():
+                dim = paper_schema.dimensions[dim_index]
+                assert 0 <= level < dim.n_levels
+                assert members
+                assert all(
+                    0 <= m < dim.n_members(level) for m in members
+                )
+
+    def test_member_budget_respected(self, paper_schema):
+        generated = generate_mdx(
+            paper_schema, random.Random(5), max_members_per_axis=1
+        )
+        # One member reference per axis: each axis set has no comma at the
+        # top level (member paths may contain dots but not commas).
+        for line in generated.text.splitlines():
+            if line.strip().startswith("{"):
+                inner = line[line.index("{") + 1 : line.rindex("}")]
+                assert inner.count(",") == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the MDX tokenizer."""
+
+import pytest
+
+from repro.mdx.lexer import MdxSyntaxError, TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_punctuation(self):
+        assert types("{},().") == [
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.COMMA,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.DOT,
+            TokenType.EOF,
+        ]
+
+    def test_identifiers_with_primes(self):
+        assert values("A'' B' Qtr1") == ["A''", "B'", "Qtr1"]
+
+    def test_dotted_path_splits(self):
+        assert values("A''.A1.CHILDREN") == ["A''", ".", "A1", ".", "CHILDREN"]
+
+    def test_bracketed_members(self):
+        assert values("[1991]") == ["1991"]
+        assert values("[USA North]") == ["USA North"]
+
+    def test_empty_bracket_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            tokenize("[]")
+        with pytest.raises(MdxSyntaxError):
+            tokenize("[  ]")
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert values("a\n\t b") == ["a", "b"]
+
+    def test_eof_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(MdxSyntaxError, match="unexpected character"):
+            tokenize("a ; b")
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(MdxSyntaxError, match="line 2"):
+            tokenize("abc\n  ;")
+
+
+class TestKeywords:
+    def test_keyword_detection_case_insensitive(self):
+        token = tokenize("children")[0]
+        assert token.keyword == "CHILDREN"
+        token = tokenize("Context")[0]
+        assert token.keyword == "CONTEXT"
+
+    def test_non_keyword_has_empty_keyword(self):
+        assert tokenize("Venkatrao")[0].keyword == ""
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,115 @@
+"""Unit tests for the MDX parser."""
+
+import pytest
+
+from repro.mdx.ast import MemberPath, NestExpr, SetExpr
+from repro.mdx.lexer import MdxSyntaxError
+from repro.mdx.parser import parse_mdx
+
+SIMPLE = """
+    {A''.A1.CHILDREN} on COLUMNS
+    {B''.B1} on ROWS
+    CONTEXT ABCD FILTER (D.DD1)
+"""
+
+NESTED = """
+    NEST ({Venkatrao, Netz}, (USA_North.CHILDREN, USA_South, Japan))
+    on COLUMNS
+    {Qtr1.CHILDREN, Qtr2, Qtr3, Qtr4.CHILDREN} on ROWS
+    CONTEXT SalesCube
+    FILTER (Sales, [1991], Products.All)
+"""
+
+
+class TestBasicStructure:
+    def test_axes_and_cube(self):
+        expr = parse_mdx(SIMPLE)
+        assert len(expr.axes) == 2
+        assert expr.axes[0].axis == "COLUMNS"
+        assert expr.axes[1].axis == "ROWS"
+        assert expr.cube == "ABCD"
+
+    def test_slicer(self):
+        expr = parse_mdx(SIMPLE)
+        assert len(expr.slicer) == 1
+        assert expr.slicer[0].segments == ("D", "DD1")
+
+    def test_no_filter_is_fine(self):
+        expr = parse_mdx("{A''.A1} on COLUMNS CONTEXT ABCD")
+        assert expr.slicer == ()
+
+    def test_member_paths(self):
+        expr = parse_mdx(SIMPLE)
+        axis_set = expr.axes[0].expr
+        assert isinstance(axis_set, SetExpr)
+        assert axis_set.elements[0].segments == ("A''", "A1", "CHILDREN")
+
+    def test_set_with_multiple_members(self):
+        expr = parse_mdx("{A''.A1, A''.A2, A''.A3} on ROWS CONTEXT C")
+        assert len(expr.axes[0].expr.elements) == 3
+
+
+class TestNest:
+    def test_nest_parses(self):
+        expr = parse_mdx(NESTED)
+        nest = expr.axes[0].expr
+        assert isinstance(nest, NestExpr)
+        assert len(nest.args) == 2
+
+    def test_parenthesized_nest_arg_is_a_set(self):
+        """The paper writes NEST's second argument with parentheses; it
+        denotes a set of alternatives, not a tuple."""
+        expr = parse_mdx(NESTED)
+        nest = expr.axes[0].expr
+        assert isinstance(nest.args[1], SetExpr)
+        assert len(nest.args[1].elements) == 3
+
+    def test_slicer_with_measure_and_bracket(self):
+        expr = parse_mdx(NESTED)
+        assert [p.segments for p in expr.slicer] == [
+            ("Sales",),
+            ("1991",),
+            ("Products", "All"),
+        ]
+
+
+class TestErrors:
+    def test_missing_context(self):
+        with pytest.raises(MdxSyntaxError, match="CONTEXT"):
+            parse_mdx("{A1} on COLUMNS")
+
+    def test_duplicate_axis(self):
+        with pytest.raises(MdxSyntaxError, match="twice"):
+            parse_mdx("{A1} on COLUMNS {B1} on COLUMNS CONTEXT C")
+
+    def test_unknown_axis(self):
+        with pytest.raises(MdxSyntaxError, match="unknown axis"):
+            parse_mdx("{A1} on SIDEWAYS CONTEXT C")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_mdx("{A1, A2 on COLUMNS CONTEXT C")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(MdxSyntaxError, match="trailing"):
+            parse_mdx("{A1} on COLUMNS CONTEXT C whatever extra")
+
+    def test_no_axes(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_mdx("CONTEXT C")
+
+    def test_missing_on(self):
+        with pytest.raises(MdxSyntaxError, match="expected ON"):
+            parse_mdx("{A1} COLUMNS CONTEXT C")
+
+
+class TestRoundTrip:
+    def test_str_of_parsed_expression_reparses(self):
+        first = parse_mdx(NESTED)
+        second = parse_mdx(str(first))
+        assert str(first) == str(second)
+        assert len(second.axes) == len(first.axes)
+
+    def test_bare_member_as_axis(self):
+        expr = parse_mdx("A1 on COLUMNS CONTEXT C")
+        assert isinstance(expr.axes[0].expr, MemberPath)

@@ -1,0 +1,118 @@
+"""Unit tests for MDX member-path resolution."""
+
+import pytest
+
+from repro.mdx.ast import MemberPath
+from repro.mdx.resolver import (
+    MdxResolutionError,
+    MeasureRef,
+    ResolvedSelection,
+    resolve_path,
+)
+from repro.workload.sales_demo import build_sales_schema
+
+
+@pytest.fixture(scope="module")
+def sales():
+    return build_sales_schema()
+
+
+def path(*segments):
+    return MemberPath(segments=tuple(segments))
+
+
+class TestPaperSchemaPaths:
+    def test_plain_member(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A''", "A1"))
+        assert sel == ResolvedSelection(0, 2, frozenset({0}))
+
+    def test_children(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A''", "A1", "CHILDREN"))
+        assert sel.level == 1
+        assert sel.member_ids == frozenset({0, 1, 2})
+
+    def test_children_then_pick(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A''", "A2", "CHILDREN", "AA5"))
+        assert sel == ResolvedSelection(0, 1, frozenset({4}))
+
+    def test_dimension_name_hint(self, paper_schema):
+        sel = resolve_path(paper_schema, path("D", "DD1"))
+        assert sel == ResolvedSelection(3, 1, frozenset({0}))
+
+    def test_unqualified_unique_member(self, paper_schema):
+        sel = resolve_path(paper_schema, path("BB4"))
+        assert sel == ResolvedSelection(1, 1, frozenset({3}))
+
+    def test_nested_children_twice(self, paper_schema):
+        sel = resolve_path(paper_schema, path("A1", "CHILDREN", "CHILDREN"))
+        dim = paper_schema.dimensions[0]
+        assert sel.level == 0
+        assert sel.member_ids == frozenset(dim.descendants(2, 0, 0))
+
+
+class TestSalesSchemaPaths:
+    def test_measure_reference(self, sales):
+        assert resolve_path(sales, path("Sales")) == MeasureRef("Sales")
+
+    def test_bracketed_year(self, sales):
+        sel = resolve_path(sales, path("1991"))
+        assert sel.dim_index == sales.dim_index("Time")
+        assert sel.level == 3
+
+    def test_all_reference(self, sales):
+        sel = resolve_path(sales, path("Products", "All"))
+        assert sel.is_all
+        assert sel.level == sales.dimension("Products").all_level
+
+    def test_region_children_are_states(self, sales):
+        sel = resolve_path(sales, path("USA_North", "CHILDREN"))
+        store = sales.dimension("Store")
+        assert sel.level == store.level_depth("State")
+        names = {store.member_name(sel.level, m) for m in sel.member_ids}
+        assert names == {"Wisconsin", "Minnesota", "Illinois"}
+
+    def test_quarter_children_are_months(self, sales):
+        sel = resolve_path(sales, path("Qtr1", "CHILDREN"))
+        time = sales.dimension("Time")
+        names = {time.member_name(sel.level, m) for m in sel.member_ids}
+        assert names == {"Jan", "Feb", "Mar"}
+
+
+class TestErrors:
+    def test_unknown_member(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="no dimension has"):
+            resolve_path(paper_schema, path("Nonsense"))
+
+    def test_children_of_leaf(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="no.*children"):
+            resolve_path(paper_schema, path("AAA1", "CHILDREN"))
+
+    def test_pick_not_a_child(self, paper_schema):
+        # AA4 is a child of A2, not A1.
+        with pytest.raises(MdxResolutionError, match="not in the preceding"):
+            resolve_path(paper_schema, path("A1", "CHILDREN", "AA4"))
+
+    def test_pick_wrong_level(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="level"):
+            resolve_path(paper_schema, path("A1", "CHILDREN", "AAA1"))
+
+    def test_all_without_dimension(self, sales):
+        with pytest.raises(MdxResolutionError, match="dimension qualifier"):
+            resolve_path(sales, path("All"))
+
+    def test_all_with_trailing_segments(self, sales):
+        with pytest.raises(MdxResolutionError, match="follow"):
+            resolve_path(sales, path("Products", "All", "CHILDREN"))
+
+    def test_dimension_hint_without_member(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="no member"):
+            resolve_path(paper_schema, path("A''"))
+
+    def test_member_not_in_hinted_dimension_still_found_elsewhere(
+        self, paper_schema
+    ):
+        # Hint says level A'' but the member B1 only exists in B: the hint
+        # cannot rescue it within A, and cross-dimension search kicks in only
+        # without a hint; here the hint makes it fail.
+        sel = resolve_path(paper_schema, path("B1"))
+        assert sel.dim_index == 1

@@ -1,0 +1,156 @@
+"""Tests for the MDX → component-query translator."""
+
+import pytest
+
+from repro.mdx import MdxResolutionError, translate_mdx
+from repro.schema.query import DimPredicate
+from repro.workload.paper_queries import PAPER_MDX, paper_queries
+from repro.workload.sales_demo import SECTION2_MDX, build_sales_schema
+
+
+@pytest.fixture(scope="module")
+def sales():
+    return build_sales_schema()
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("number", sorted(PAPER_MDX))
+    def test_each_paper_query_translates_to_its_reconstruction(
+        self, paper_schema, number
+    ):
+        """The MDX text and the programmatic construction are independent
+        paths; they must agree exactly."""
+        components = translate_mdx(paper_schema, PAPER_MDX[number])
+        assert len(components) == 1
+        got = components[0]
+        want = paper_queries(paper_schema)[number]
+        assert got.groupby == want.groupby
+        assert set(got.predicates) == set(want.predicates)
+
+
+class TestSection2Example:
+    def test_yields_six_component_queries(self, sales):
+        """The paper derives exactly six group-bys from its Section 2
+        example."""
+        components = translate_mdx(sales, SECTION2_MDX)
+        assert len(components) == 6
+
+    def test_component_group_bys(self, sales):
+        components = translate_mdx(sales, SECTION2_MDX)
+        store = sales.dim_index("Store")
+        time = sales.dim_index("Time")
+        sp = sales.dim_index("SalesPerson")
+        store_dim = sales.dimension("Store")
+        signature = {
+            (q.groupby.levels[store], q.groupby.levels[time])
+            for q in components
+        }
+        # {State, Region, Country} x {Month, Quarter}.
+        state = store_dim.level_depth("State")
+        region = store_dim.level_depth("Region")
+        country = store_dim.level_depth("Country")
+        assert signature == {
+            (state, 1), (state, 2),
+            (region, 1), (region, 2),
+            (country, 1), (country, 2),
+        }
+        for q in components:
+            assert q.groupby.levels[sp] == 0  # salesperson leaf everywhere
+
+    def test_salespeople_predicate_everywhere(self, sales):
+        components = translate_mdx(sales, SECTION2_MDX)
+        sp_dim = sales.dimension("SalesPerson")
+        want = frozenset(
+            {sp_dim.member_id(0, "Venkatrao"), sp_dim.member_id(0, "Netz")}
+        )
+        for q in components:
+            pred = q.predicate_on(sales.dim_index("SalesPerson"))
+            assert pred is not None and pred.member_ids == want
+
+    def test_year_slicer_becomes_extra_time_predicate(self, sales):
+        components = translate_mdx(sales, SECTION2_MDX)
+        time = sales.dim_index("Time")
+        for q in components:
+            preds = q.predicates_on(time)
+            levels = {p.level for p in preds}
+            assert 3 in levels  # the [1991] year slice is ANDed in
+
+    def test_products_all_means_no_products_predicate(self, sales):
+        components = translate_mdx(sales, SECTION2_MDX)
+        products = sales.dim_index("Products")
+        for q in components:
+            assert q.predicates_on(products) == ()
+            assert (
+                q.groupby.levels[products]
+                == sales.dimension("Products").all_level
+            )
+
+
+class TestSlicerRules:
+    def test_slicer_alone_sets_level_and_predicate(self, paper_schema):
+        queries = translate_mdx(
+            paper_schema, "{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D.DD1)"
+        )
+        assert len(queries) == 1
+        q = queries[0]
+        assert q.groupby.levels[3] == 1
+        assert q.predicate_on(3) == DimPredicate(3, 1, frozenset({0}))
+
+    def test_mixed_level_set_splits(self, paper_schema):
+        queries = translate_mdx(
+            paper_schema,
+            "{A''.A1, A''.A2.CHILDREN} on COLUMNS CONTEXT ABCD",
+        )
+        assert len(queries) == 2
+        levels = sorted(q.groupby.levels[0] for q in queries)
+        assert levels == [1, 2]
+
+    def test_same_level_members_merge(self, paper_schema):
+        queries = translate_mdx(
+            paper_schema,
+            "{A''.A1, A''.A3} on COLUMNS CONTEXT ABCD",
+        )
+        assert len(queries) == 1
+        assert queries[0].predicate_on(0).member_ids == frozenset({0, 2})
+
+    def test_labels_sequential(self, paper_schema):
+        queries = translate_mdx(
+            paper_schema,
+            "{A''.A1, A''.A2.CHILDREN} on COLUMNS CONTEXT ABCD",
+            label_prefix="T",
+        )
+        assert [q.label for q in queries] == ["T[1]", "T[2]"]
+
+
+class TestTranslationErrors:
+    def test_same_dimension_on_two_axes(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="two axes"):
+            translate_mdx(
+                paper_schema,
+                "{A''.A1} on COLUMNS {A''.A2} on ROWS CONTEXT ABCD",
+            )
+
+    def test_tuple_with_repeated_dimension(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="same dimension twice"):
+            translate_mdx(
+                paper_schema,
+                "{(A''.A1, A''.A2)} on COLUMNS CONTEXT ABCD",
+            )
+
+    def test_measure_on_axis_rejected(self, sales):
+        with pytest.raises(MdxResolutionError, match="measure"):
+            translate_mdx(sales, "{Sales} on COLUMNS CONTEXT SalesCube")
+
+    def test_duplicate_slicer_dimension(self, paper_schema):
+        with pytest.raises(MdxResolutionError, match="twice"):
+            translate_mdx(
+                paper_schema,
+                "{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D.DD1, D.DD2)",
+            )
+
+
+class TestValidity:
+    @pytest.mark.parametrize("number", sorted(PAPER_MDX))
+    def test_translated_queries_validate(self, paper_schema, number):
+        for query in translate_mdx(paper_schema, PAPER_MDX[number]):
+            query.validate(paper_schema)

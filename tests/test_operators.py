@@ -1,0 +1,248 @@
+"""Operator tests: pipelines and the three shared star joins, all checked
+against the brute-force reference evaluator."""
+
+import random
+
+import pytest
+
+from repro.core.operators.hash_join import HashStarJoin, SharedScanHashStarJoin
+from repro.core.operators.hybrid_join import SharedHybridStarJoin
+from repro.core.operators.index_join import (
+    IndexStarJoin,
+    MissingIndexError,
+    SharedIndexStarJoin,
+    query_result_bitmap,
+    usable_index,
+)
+from repro.core.operators.pipeline import QueryPipeline, RollupCache
+from repro.engine.reference import evaluate_reference
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+from helpers import make_tiny_db, random_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_tiny_db(n_rows=600, materialized=("X'Y",), index_tables=("XY",))
+
+
+def reference_for(db, query, source="XY"):
+    entry = db.catalog.get(source)
+    return evaluate_reference(
+        db.schema, entry.table.all_rows(), query, entry.levels
+    )
+
+
+def simple_query(levels=(1, 2), preds=()):
+    return GroupByQuery(groupby=GroupBy(levels), predicates=tuple(preds))
+
+
+class TestQueryPipeline:
+    def test_matches_reference_no_predicates(self, db):
+        query = simple_query((1, 1))
+        op = HashStarJoin(db.ctx(), "XY", query)
+        assert op.run_single().approx_equals(reference_for(db, query))
+
+    def test_matches_reference_with_predicates(self, db):
+        query = simple_query(
+            (1, 2),
+            [DimPredicate(0, 2, frozenset({0})), DimPredicate(1, 1, frozenset({1, 3}))],
+        )
+        op = HashStarJoin(db.ctx(), "XY", query)
+        assert op.run_single().approx_equals(reference_for(db, query))
+
+    def test_random_queries_match_reference(self, db):
+        rng = random.Random(11)
+        for i in range(25):
+            query = random_query(db.schema, rng, label=f"rand{i}")
+            op = HashStarJoin(db.ctx(), "XY", query)
+            assert op.run_single().approx_equals(reference_for(db, query)), (
+                query.describe(db.schema)
+            )
+
+    def test_from_materialized_view_matches_base(self, db):
+        query = simple_query((1, 2), [DimPredicate(0, 1, frozenset({0, 2}))])
+        from_base = HashStarJoin(db.ctx(), "XY", query).run_single()
+        from_view = HashStarJoin(db.ctx(), "X'Y", query).run_single()
+        assert from_base.approx_equals(from_view)
+
+    def test_unanswerable_source_rejected(self, db):
+        query = simple_query((0, 0))  # needs leaf X, view stores X'
+        with pytest.raises(ValueError):
+            HashStarJoin(db.ctx(), "X'Y", query)
+
+    def test_rollup_cache_builds_once(self, db):
+        ctx = db.ctx()
+        before = ctx.stats.snapshot()
+        cache = RollupCache(ctx.schema, ctx.stats)
+        cache.target_map(0, 0, 2)
+        cache.target_map(0, 0, 2)
+        delta = ctx.stats.delta_since(before)
+        assert delta.hash_builds == db.schema.dimensions[0].n_members(0)
+
+    def test_identity_and_all_maps_are_free(self, db):
+        ctx = db.ctx()
+        cache = RollupCache(ctx.schema, ctx.stats)
+        assert cache.target_map(0, 1, 1) is None
+        assert cache.target_map(0, 0, ctx.schema.dimensions[0].all_level) is None
+
+
+class TestSharedScanHashJoin:
+    def queries(self):
+        return [
+            simple_query((1, 1), [DimPredicate(0, 2, frozenset({0}))]),
+            simple_query((2, 1)),
+            simple_query((1, 3), [DimPredicate(1, 1, frozenset({0, 2}))]),
+        ]
+
+    def test_results_equal_separate_execution(self, db):
+        queries = self.queries()
+        shared = SharedScanHashStarJoin(db.ctx(), "XY", queries).run()
+        for query, result in zip(queries, shared):
+            solo = HashStarJoin(db.ctx(), "XY", query).run_single()
+            assert result.approx_equals(solo)
+            assert result.approx_equals(reference_for(db, query))
+
+    def test_scan_io_charged_once(self, db):
+        queries = self.queries()
+        entry = db.catalog.get("XY")
+        db.flush()
+        before = db.stats.snapshot()
+        SharedScanHashStarJoin(db.ctx(), "XY", queries).run()
+        delta = db.stats.delta_since(before)
+        assert delta.seq_page_reads == entry.n_pages
+        assert delta.rand_page_reads == 0
+
+    def test_empty_query_list_rejected(self, db):
+        with pytest.raises(ValueError):
+            SharedScanHashStarJoin(db.ctx(), "XY", [])
+
+
+class TestIndexStarJoin:
+    def selective_query(self):
+        return simple_query(
+            (1, 2),
+            [DimPredicate(0, 1, frozenset({2})), DimPredicate(1, 2, frozenset({0}))],
+        )
+
+    def test_matches_reference(self, db):
+        query = self.selective_query()
+        result = IndexStarJoin(db.ctx(), "XY", query).run_single()
+        assert result.approx_equals(reference_for(db, query))
+
+    def test_matches_hash_join(self, db):
+        query = self.selective_query()
+        via_index = IndexStarJoin(db.ctx(), "XY", query).run_single()
+        via_hash = HashStarJoin(db.ctx(), "XY", query).run_single()
+        assert via_index.approx_equals(via_hash)
+
+    def test_probe_reads_are_random(self, db):
+        db.flush()
+        before = db.stats.snapshot()
+        IndexStarJoin(db.ctx(), "XY", self.selective_query()).run_single()
+        delta = db.stats.delta_since(before)
+        assert delta.rand_page_reads > 0
+
+    def test_coarse_predicate_uses_finer_index(self, db):
+        # Predicate at the top level; only leaf-level indexes exist.
+        query = simple_query((2, 3), [DimPredicate(0, 2, frozenset({1}))])
+        entry = db.catalog.get("XY")
+        found = usable_index(db.ctx(), entry, query.predicates[0])
+        assert found is not None
+        index, members = found
+        assert index.level == 0
+        assert members == db.schema.dimensions[0].descendants(2, 1, 0)
+        result = IndexStarJoin(db.ctx(), "XY", query).run_single()
+        assert result.approx_equals(reference_for(db, query))
+
+    def test_unindexed_predicate_is_residual(self, db):
+        # The view X'Y has no indexes: index plan on XY with one indexed and
+        # the pipelines still apply every predicate.
+        query = simple_query(
+            (1, 1),
+            [DimPredicate(0, 1, frozenset({0})), DimPredicate(1, 0, frozenset({0, 1}))],
+        )
+        result = IndexStarJoin(db.ctx(), "XY", query).run_single()
+        assert result.approx_equals(reference_for(db, query))
+
+    def test_no_indexes_at_all_raises(self, db):
+        query = simple_query((1, 1), [DimPredicate(0, 1, frozenset({0}))])
+        with pytest.raises(MissingIndexError):
+            IndexStarJoin(db.ctx(), "X'Y", query).run_single()
+
+    def test_no_predicates_bitmap_is_all_ones(self, db):
+        entry = db.catalog.get("XY")
+        bitmap = query_result_bitmap(db.ctx(), entry, simple_query((1, 1)))
+        assert bitmap.count() == entry.n_rows
+
+
+class TestSharedIndexJoin:
+    def queries(self):
+        return [
+            simple_query((1, 2), [DimPredicate(0, 1, frozenset({0}))]),
+            simple_query((1, 2), [DimPredicate(0, 1, frozenset({0, 1}))]),
+            simple_query((2, 1), [DimPredicate(1, 1, frozenset({3}))]),
+        ]
+
+    def test_results_equal_separate(self, db):
+        queries = self.queries()
+        shared = SharedIndexStarJoin(db.ctx(), "XY", queries).run()
+        for query, result in zip(queries, shared):
+            solo = IndexStarJoin(db.ctx(), "XY", query).run_single()
+            assert result.approx_equals(solo)
+            assert result.approx_equals(reference_for(db, query))
+
+    def test_union_probe_touches_no_more_pages_than_separate(self, db):
+        queries = self.queries()
+        separate_pages = 0
+        for query in queries:
+            db.flush()
+            before = db.stats.snapshot()
+            IndexStarJoin(db.ctx(), "XY", query).run_single()
+            separate_pages += db.stats.delta_since(before).rand_page_reads
+        db.flush()
+        before = db.stats.snapshot()
+        SharedIndexStarJoin(db.ctx(), "XY", queries).run()
+        shared_pages = db.stats.delta_since(before).rand_page_reads
+        assert shared_pages <= separate_pages
+
+
+class TestSharedHybridJoin:
+    def test_results_match_pure_operators(self, db):
+        hash_queries = [simple_query((1, 1))]
+        index_queries = [
+            simple_query((1, 2), [DimPredicate(0, 1, frozenset({1}))]),
+            simple_query((2, 2), [DimPredicate(1, 1, frozenset({0}))]),
+        ]
+        op = SharedHybridStarJoin(db.ctx(), "XY", hash_queries, index_queries)
+        by_qid = op.run()
+        for query in hash_queries + index_queries:
+            assert by_qid[query.qid].approx_equals(reference_for(db, query))
+
+    def test_no_random_reads(self, db):
+        """The whole point of Section 3.3: index plans ride the scan."""
+        index_queries = [
+            simple_query((1, 2), [DimPredicate(0, 1, frozenset({1}))]),
+        ]
+        hash_queries = [simple_query((2, 1))]
+        db.flush()
+        before = db.stats.snapshot()
+        SharedHybridStarJoin(db.ctx(), "XY", hash_queries, index_queries).run()
+        delta = db.stats.delta_since(before)
+        assert delta.rand_page_reads == 0
+        assert delta.seq_page_reads >= db.catalog.get("XY").n_pages
+
+    def test_run_ordered(self, db):
+        hash_queries = [simple_query((1, 1))]
+        index_queries = [
+            simple_query((1, 2), [DimPredicate(0, 1, frozenset({1}))]),
+        ]
+        op = SharedHybridStarJoin(db.ctx(), "XY", hash_queries, index_queries)
+        ordered = op.run_ordered()
+        assert [r.query.qid for r in ordered] == [
+            q.qid for q in hash_queries + index_queries
+        ]
+
+    def test_empty_rejected(self, db):
+        with pytest.raises(ValueError):
+            SharedHybridStarJoin(db.ctx(), "XY", [], [])

@@ -1,0 +1,74 @@
+"""Tests for plan JSON serialization and benchmark CSV export."""
+
+import json
+
+import pytest
+
+from repro.bench.export import read_csv, write_csv
+from repro.bench.harness import SharingRow, run_test1_shared_scan
+from repro.schema.query import GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+class TestPlanToDict:
+    def test_structure(self):
+        db = make_tiny_db(n_rows=300, materialized=("X'Y'",))
+        queries = [
+            GroupByQuery(groupby=GroupBy((1, 1)), label="d1"),
+            GroupByQuery(groupby=GroupBy((2, 2)), label="d2"),
+        ]
+        plan = db.optimize(queries, "gg")
+        doc = plan.to_dict(db.schema)
+        assert doc["algorithm"] == "gg"
+        assert doc["est_cost_ms"] == pytest.approx(plan.est_cost_ms, abs=0.01)
+        assert "plan_costings" in doc["search_stats"]
+        names = [p["query"] for cls in doc["classes"] for p in cls["plans"]]
+        assert sorted(names) == ["d1", "d2"]
+        for cls in doc["classes"]:
+            for local in cls["plans"]:
+                assert local["method"] in ("hash-based SJ", "index-based SJ")
+
+    def test_json_round_trip(self):
+        db = make_tiny_db(n_rows=200)
+        plan = db.optimize(
+            [GroupByQuery(groupby=GroupBy((1, 1)))], "tplo"
+        )
+        text = json.dumps(plan.to_dict(db.schema))
+        assert json.loads(text)["algorithm"] == "tplo"
+
+
+class TestCsvExport:
+    def test_dataclass_rows(self, tmp_path):
+        rows = [
+            SharingRow(1, 10.0, 10.0, 8.0, 8.0, 0.1, 0.1),
+            SharingRow(2, 20.0, 12.0, 8.0, 8.0, 0.2, 0.1),
+        ]
+        path = write_csv(rows, tmp_path / "fig.csv", extra={"scale": 0.01})
+        back = read_csv(path)
+        assert len(back) == 2
+        assert back[0]["n_queries"] == "1"
+        assert back[1]["separate_ms"] == "20.0"
+        assert back[0]["scale"] == "0.01"
+
+    def test_tuple_rows(self, tmp_path):
+        path = write_csv([(1, "a"), (2, "b")], tmp_path / "t.csv")
+        back = read_csv(path)
+        assert back[0] == {"col0": "1", "col1": "a"}
+
+    def test_dict_rows(self, tmp_path):
+        path = write_csv([{"x": 1}], tmp_path / "d.csv")
+        assert read_csv(path) == [{"x": "1"}]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "e.csv")
+
+    def test_harness_rows_export(self, tmp_path, paper_db, paper_qs):
+        rows = run_test1_shared_scan(
+            paper_db, [paper_qs[1], paper_qs[2]]
+        )
+        path = write_csv(rows, tmp_path / "fig10.csv")
+        back = read_csv(path)
+        assert len(back) == 2
+        assert float(back[1]["separate_ms"]) > float(back[1]["shared_ms"])

@@ -1,0 +1,127 @@
+"""Tests for the fluent schema builder."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.schema.builder import SchemaBuilder
+from repro.workload.generator import generate_fact_rows
+
+
+def build_retail():
+    return (
+        SchemaBuilder("RetailCube", measure="revenue")
+        .balanced_dimension(
+            "Product",
+            levels=("SKU", "Category", "Department"),
+            top_members=("Grocery", "Electronics"),
+            fanouts=(3, 4),
+        )
+        .dimension("Region")
+        .level("Country", ["US", "JP"])
+        .level("City", {"NYC": "US", "SF": "US", "Tokyo": "JP"})
+        .level(
+            "Store",
+            {"S1": "NYC", "S2": "SF", "S3": "Tokyo", "S4": "Tokyo"},
+        )
+        .done()
+        .build()
+    )
+
+
+class TestExplicitDimension:
+    def test_levels_reversed_to_finest_first(self):
+        schema = build_retail()
+        region = schema.dimension("Region")
+        assert [lv.name for lv in region.levels] == [
+            "Store", "City", "Country",
+        ]
+
+    def test_parentage(self):
+        schema = build_retail()
+        region = schema.dimension("Region")
+        store_level, s3 = region.find_member("S3")
+        assert store_level == 0
+        assert region.member_name(1, region.parent(0, s3)) == "Tokyo"
+        assert region.rollup(0, 2, s3) == region.member_id(2, "JP")
+
+    def test_children(self):
+        schema = build_retail()
+        region = schema.dimension("Region")
+        tokyo = region.member_id(1, "Tokyo")
+        names = {
+            region.member_name(0, child)
+            for child in region.children(1, tokyo)
+        }
+        assert names == {"S3", "S4"}
+
+    def test_unknown_parent_rejected(self):
+        builder = SchemaBuilder("bad").dimension("R").level("Country", ["US"])
+        with pytest.raises(ValueError, match="unknown parent"):
+            builder.level("City", {"NYC": "Mars"})
+
+    def test_top_level_mapping_rejected(self):
+        builder = SchemaBuilder("bad").dimension("R")
+        with pytest.raises(ValueError, match="list of names"):
+            builder.level("Country", {"US": "Earth"})
+
+    def test_mapping_required_below_top(self):
+        builder = SchemaBuilder("bad").dimension("R").level("Country", ["US"])
+        with pytest.raises(ValueError, match="mapping"):
+            builder.level("City", ["NYC"])
+
+    def test_empty_level_rejected(self):
+        builder = SchemaBuilder("bad").dimension("R")
+        with pytest.raises(ValueError, match="needs members"):
+            builder.level("Country", [])
+
+    def test_no_levels_rejected(self):
+        builder = SchemaBuilder("bad").dimension("R")
+        with pytest.raises(ValueError, match="no levels"):
+            builder.done()
+
+
+class TestBalancedDimension:
+    def test_top_members_renamed(self):
+        schema = build_retail()
+        product = schema.dimension("Product")
+        assert product.member_name(2, 0) == "Grocery"
+        assert product.member_name(2, 1) == "Electronics"
+        assert product.find_member("Electronics") == (2, 1)
+
+    def test_shape(self):
+        schema = build_retail()
+        product = schema.dimension("Product")
+        assert product.n_members(2) == 2
+        assert product.n_members(1) == 6
+        assert product.n_members(0) == 24
+
+
+class TestSchemaAssembly:
+    def test_duplicate_dimension_rejected(self):
+        builder = SchemaBuilder("dup").balanced_dimension(
+            "D", ("a", "b"), ("T",), (2,)
+        )
+        with pytest.raises(ValueError, match="duplicate dimension"):
+            builder.balanced_dimension("D", ("a", "b"), ("T",), (2,))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError, match="no dimensions"):
+            SchemaBuilder("empty").build()
+
+    def test_built_schema_runs_queries(self):
+        schema = build_retail()
+        db = Database(schema, page_size=256)
+        db.load_base(generate_fact_rows(schema, 500, seed=1), name="facts")
+        db.materialize((1, 1), name="cat_city")
+        report = db.run_mdx(
+            "{Department.MEMBERS} on COLUMNS {JP} on ROWS CONTEXT facts"
+        )
+        result = next(iter(report.results.values()))
+        assert result.n_groups >= 1
+        total = sum(
+            row[2]
+            for row in db.catalog.get("facts").table.all_rows()
+            if schema.dimension("Region").rollup(0, 2, int(row[1]))
+            == schema.dimension("Region").member_id(2, "JP")
+        )
+        assert result.total() == pytest.approx(total)

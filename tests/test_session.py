@@ -1,0 +1,112 @@
+"""Tests for cross-expression query sessions with deduplication."""
+
+import pytest
+
+from repro.engine.reference import evaluate_reference
+from repro.engine.session import QuerySession, query_key
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+@pytest.fixture()
+def db():
+    return make_tiny_db(n_rows=400, materialized=("X'Y'",))
+
+
+def q(levels=(1, 1), preds=(), label=""):
+    return GroupByQuery(
+        groupby=GroupBy(levels), predicates=tuple(preds), label=label
+    )
+
+
+class TestQueryKey:
+    def test_identical_semantics_same_key(self):
+        a = q(preds=[DimPredicate(0, 2, frozenset({0}))], label="a")
+        b = q(preds=[DimPredicate(0, 2, frozenset({0}))], label="b")
+        assert a.qid != b.qid
+        assert query_key(a) == query_key(b)
+
+    def test_different_predicates_different_key(self):
+        a = q(preds=[DimPredicate(0, 2, frozenset({0}))])
+        b = q(preds=[DimPredicate(0, 2, frozenset({1}))])
+        assert query_key(a) != query_key(b)
+
+    def test_different_aggregate_different_key(self):
+        from repro.schema.query import Aggregate
+
+        a = q()
+        b = GroupByQuery(groupby=GroupBy((1, 1)), aggregate=Aggregate.COUNT)
+        assert query_key(a) != query_key(b)
+
+
+class TestSessionRuns:
+    def test_duplicates_evaluated_once(self, db):
+        twins = [q(label=f"dup{i}") for i in range(3)]
+        other = q(levels=(2, 2), label="other")
+        session = QuerySession(db).add_queries(twins + [other])
+        report = session.run()
+        assert report.n_submitted == 4
+        assert report.n_distinct == 2
+        assert report.n_duplicates_eliminated == 2
+        # The executed plan contains only the distinct queries.
+        assert report.execution.plan.n_queries == 2
+
+    def test_every_submission_gets_its_result(self, db):
+        twins = [q(label=f"dup{i}") for i in range(3)]
+        session = QuerySession(db).add_queries(twins)
+        report = session.run()
+        base = db.catalog.get("XY")
+        expected = evaluate_reference(
+            db.schema, base.table.all_rows(), twins[0], base.levels
+        )
+        for twin in twins:
+            result = report.result_for(twin)
+            assert result.query.qid == twin.qid
+            assert result.approx_equals(expected)
+
+    def test_cross_expression_sharing(self, db):
+        """Two MDX expressions over the same cube optimize as one unit."""
+        session = QuerySession(db)
+        session.add_mdx("{X''.X1} on COLUMNS CONTEXT XY")
+        session.add_mdx("{X''.X2} on COLUMNS CONTEXT XY")
+        report = session.run()
+        assert report.n_distinct == 2
+        # GG puts both queries in one shared class.
+        assert len(report.execution.plan.classes) == 1
+
+    def test_identical_mdx_deduplicates(self, db):
+        text = "{X''.X1.CHILDREN} on COLUMNS CONTEXT XY"
+        session = QuerySession(db)
+        session.add_mdx(text)
+        session.add_mdx(text)
+        report = session.run()
+        assert report.n_submitted == 2
+        assert report.n_distinct == 1
+
+    def test_run_clears_pending(self, db):
+        session = QuerySession(db).add_queries([q()])
+        assert session.n_pending == 1
+        session.run()
+        assert session.n_pending == 0
+        with pytest.raises(ValueError):
+            session.run()
+
+    def test_algorithm_respected(self, db):
+        session = QuerySession(db, algorithm="naive")
+        session.add_queries([q(label="a"), q(levels=(2, 2), label="b")])
+        report = session.run()
+        assert report.execution.plan.algorithm == "naive"
+
+    def test_summary_mentions_dedup(self, db):
+        session = QuerySession(db).add_queries([q(), q()])
+        report = session.run()
+        assert "1 duplicate(s) eliminated" in report.summary()
+
+    def test_invalid_query_rejected_at_add(self, db):
+        bad = GroupByQuery(
+            groupby=GroupBy((1, 1)),
+            predicates=(DimPredicate(0, 1, frozenset({999})),),
+        )
+        with pytest.raises(ValueError):
+            QuerySession(db).add_queries([bad])

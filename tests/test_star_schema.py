@@ -1,0 +1,82 @@
+"""Unit tests for star-schema metadata and paper group-by notation."""
+
+import pytest
+
+from repro.schema.query import GroupBy
+
+
+class TestDimensionLookup:
+    def test_dim_index(self, paper_schema):
+        assert paper_schema.dim_index("A") == 0
+        assert paper_schema.dim_index("D") == 3
+        with pytest.raises(KeyError):
+            paper_schema.dim_index("Z")
+
+    def test_dimension_by_name(self, paper_schema):
+        assert paper_schema.dimension("B").name == "B"
+
+    def test_base_and_all_levels(self, paper_schema):
+        assert paper_schema.base_levels() == (0, 0, 0, 0)
+        assert paper_schema.all_levels() == (3, 3, 3, 3)
+
+
+class TestLevelValidation:
+    def test_check_levels_roundtrip(self, paper_schema):
+        assert paper_schema.check_levels([1, 2, 0, 3]) == (1, 2, 0, 3)
+
+    def test_wrong_arity(self, paper_schema):
+        with pytest.raises(ValueError):
+            paper_schema.check_levels([0, 0, 0])
+
+    def test_out_of_range(self, paper_schema):
+        with pytest.raises(ValueError):
+            paper_schema.check_levels([0, 0, 0, 4])
+        with pytest.raises(ValueError):
+            paper_schema.check_levels([-1, 0, 0, 0])
+
+
+class TestGroupByNotation:
+    def test_render(self, paper_schema):
+        assert paper_schema.groupby_name((0, 0, 0, 0)) == "ABCD"
+        assert paper_schema.groupby_name((1, 2, 2, 0)) == "A'B''C''D"
+        assert paper_schema.groupby_name((3, 3, 3, 0)) == "D"
+        assert paper_schema.groupby_name((3, 3, 3, 3)) == "(all)"
+
+    def test_parse(self, paper_schema):
+        assert paper_schema.parse_groupby_name("ABCD") == (0, 0, 0, 0)
+        assert paper_schema.parse_groupby_name("A'B''C''D") == (1, 2, 2, 0)
+        assert paper_schema.parse_groupby_name("D") == (3, 3, 3, 0)
+        assert paper_schema.parse_groupby_name("") == (3, 3, 3, 3)
+
+    def test_parse_render_roundtrip(self, paper_schema):
+        for levels in [(0, 1, 2, 3), (1, 1, 1, 0), (2, 3, 0, 1)]:
+            name = paper_schema.groupby_name(levels)
+            assert paper_schema.parse_groupby_name(name) == levels
+
+    def test_parse_rejects_unknown_dimension(self, paper_schema):
+        with pytest.raises(ValueError):
+            paper_schema.parse_groupby_name("AZ")
+
+    def test_parse_rejects_too_many_primes(self, paper_schema):
+        with pytest.raises(ValueError):
+            paper_schema.parse_groupby_name("A'''")
+
+    def test_groupby_parse_helper(self, paper_schema):
+        gb = GroupBy.parse(paper_schema, "A'B'C'D")
+        assert gb.levels == (1, 1, 1, 0)
+        assert gb.name(paper_schema) == "A'B'C'D"
+
+
+class TestConstruction:
+    def test_duplicate_dimension_names_rejected(self, paper_schema):
+        from repro.schema.star import StarSchema
+
+        dims = [paper_schema.dimensions[0], paper_schema.dimensions[0]]
+        with pytest.raises(ValueError):
+            StarSchema("bad", dims)
+
+    def test_empty_dimensions_rejected(self):
+        from repro.schema.star import StarSchema
+
+        with pytest.raises(ValueError):
+            StarSchema("bad", [])

@@ -1,0 +1,101 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.table import HeapTable
+
+
+def setup(n_rows=60, capacity_pages=4):
+    table = HeapTable("t", ("a", "m"), page_size=32)  # 4 rows/page
+    table.extend((i, float(i)) for i in range(n_rows))
+    stats = IOStats()
+    pool = BufferPool(stats, capacity_pages=capacity_pages)
+    return table, stats, pool
+
+
+class TestHitsAndMisses:
+    def test_first_read_misses_second_hits(self):
+        table, stats, pool = setup()
+        pool.get_page(table, 0, sequential=True)
+        assert (stats.seq_page_reads, pool.misses, pool.hits) == (1, 1, 0)
+        pool.get_page(table, 0, sequential=True)
+        assert (stats.seq_page_reads, pool.misses, pool.hits) == (1, 1, 1)
+        assert stats.buffer_hits == 1
+
+    def test_random_miss_charged_as_random(self):
+        table, stats, pool = setup()
+        pool.get_page(table, 3, sequential=False)
+        assert stats.rand_page_reads == 1
+        assert stats.seq_page_reads == 0
+
+    def test_hit_rate(self):
+        table, stats, pool = setup()
+        pool.get_page(table, 0, sequential=True)
+        pool.get_page(table, 0, sequential=True)
+        pool.get_page(table, 0, sequential=True)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty_pool(self):
+        _table, _stats, pool = setup()
+        assert pool.hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        table, stats, pool = setup(capacity_pages=2)
+        pool.get_page(table, 0, sequential=True)
+        pool.get_page(table, 1, sequential=True)
+        pool.get_page(table, 0, sequential=True)  # touch 0 -> 1 becomes LRU
+        pool.get_page(table, 2, sequential=True)  # evicts 1
+        assert pool.resident(table, 0)
+        assert not pool.resident(table, 1)
+        assert pool.resident(table, 2)
+
+    def test_capacity_never_exceeded(self):
+        table, _stats, pool = setup(capacity_pages=3)
+        for page_no in range(table.n_pages):
+            pool.get_page(table, page_no, sequential=True)
+        assert len(pool) <= 3
+
+    def test_sequential_scan_larger_than_pool_never_hits(self):
+        # Classic LRU scan behaviour: a repeated scan of a table larger than
+        # the pool gets zero hits.
+        table, _stats, pool = setup(n_rows=60, capacity_pages=4)
+        for _ in range(2):
+            for page_no in range(table.n_pages):
+                pool.get_page(table, page_no, sequential=True)
+        assert pool.hits == 0
+
+    def test_zero_capacity_rejected(self):
+        stats = IOStats()
+        with pytest.raises(ValueError):
+            BufferPool(stats, capacity_pages=0)
+
+
+class TestFlush:
+    def test_flush_forces_cold_reads(self):
+        table, stats, pool = setup()
+        pool.get_page(table, 0, sequential=True)
+        pool.flush()
+        assert len(pool) == 0
+        pool.get_page(table, 0, sequential=True)
+        assert stats.seq_page_reads == 2
+
+    def test_write_page_admits_frame(self):
+        table, stats, pool = setup()
+        pool.write_page(table, 0)
+        assert stats.page_writes == 1
+        assert pool.resident(table, 0)
+
+
+class TestMultiTable:
+    def test_frames_keyed_by_table(self):
+        table_a, stats, pool = setup()
+        table_b = HeapTable("other", ("a", "m"), page_size=32)
+        table_b.extend((i, float(i)) for i in range(8))
+        pool.get_page(table_a, 0, sequential=True)
+        pool.get_page(table_b, 0, sequential=True)
+        assert stats.seq_page_reads == 2  # same page_no, different tables
+        assert pool.resident(table_a, 0) and pool.resident(table_b, 0)

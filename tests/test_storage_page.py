@@ -1,0 +1,77 @@
+"""Unit tests for fixed-width pages."""
+
+import pytest
+
+from repro.storage.page import (
+    BYTES_PER_COLUMN,
+    DEFAULT_PAGE_SIZE,
+    Page,
+    pack_rows,
+    rows_per_page,
+)
+
+
+class TestRowsPerPage:
+    def test_paper_geometry(self):
+        # The paper's 20-byte five-attribute tuple on an 8 KB page.
+        assert rows_per_page(5, 8192) == 8192 // (5 * BYTES_PER_COLUMN)
+
+    def test_small_page(self):
+        assert rows_per_page(5, 512) == 512 // 20
+
+    def test_single_column(self):
+        assert rows_per_page(1, DEFAULT_PAGE_SIZE) == DEFAULT_PAGE_SIZE // 4
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(ValueError):
+            rows_per_page(0)
+
+    def test_row_wider_than_page_rejected(self):
+        with pytest.raises(ValueError):
+            rows_per_page(100, 64)
+
+
+class TestPage:
+    def test_append_and_read(self):
+        page = Page(0, capacity=3)
+        assert page.append((1, 2, 3.0)) == 0
+        assert page.append((4, 5, 6.0)) == 1
+        assert page[0] == (1, 2, 3.0)
+        assert page[1] == (4, 5, 6.0)
+        assert len(page) == 2
+        assert not page.is_full
+
+    def test_full_page_rejects_append(self):
+        page = Page(0, capacity=1)
+        page.append((1,))
+        assert page.is_full
+        with pytest.raises(ValueError):
+            page.append((2,))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Page(0, capacity=0)
+
+    def test_iteration_preserves_order(self):
+        page = Page(0, capacity=10)
+        rows = [(i, float(i)) for i in range(7)]
+        page.extend(rows)
+        assert list(page) == rows
+
+
+class TestPackRows:
+    def test_dense_packing(self):
+        rows = [(i, float(i)) for i in range(10)]
+        pages = pack_rows(rows, n_columns=2, page_size=8 * 4)
+        # 8 bytes per row, 32-byte pages -> 4 rows per page.
+        assert [len(p) for p in pages] == [4, 4, 2]
+        assert [p.page_no for p in pages] == [0, 1, 2]
+
+    def test_roundtrip(self):
+        rows = [(i, i * 2, float(i)) for i in range(25)]
+        pages = pack_rows(rows, n_columns=3, page_size=120)
+        unpacked = [row for page in pages for row in page]
+        assert unpacked == rows
+
+    def test_empty(self):
+        assert pack_rows([], n_columns=3) == []
