@@ -37,6 +37,7 @@ from .core import (
     make_optimizer,
 )
 from .engine import Database, evaluate_reference, to_sql
+from .obs import MetricsRegistry, Span, Tracer, default_registry
 from .schema import (
     Aggregate,
     DimPredicate,
@@ -61,7 +62,11 @@ __all__ = [
     "GroupByQuery",
     "IOStats",
     "JoinMethod",
+    "MetricsRegistry",
     "QueryResult",
+    "Span",
+    "Tracer",
+    "default_registry",
     "SharedHybridStarJoin",
     "SharedIndexStarJoin",
     "SharedScanHashStarJoin",

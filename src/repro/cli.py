@@ -74,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the global plan before executing",
     )
     run.add_argument(
+        "--analyze", action="store_true",
+        help="print EXPLAIN ANALYZE (estimated vs measured cost per class) "
+        "after executing",
+    )
+    run.add_argument(
+        "--trace", metavar="FILE",
+        help="trace the batch and write the span tree as JSON "
+        "(FILE ending in .chrome.json gets Chrome-trace events instead)",
+    )
+    run.add_argument(
         "--limit", type=int, default=10,
         help="max result rows to print per query (default 10)",
     )
@@ -164,19 +174,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"\n({len(pivot.queries)} component query(ies), "
               f"{pivot.sim_ms:.1f} sim-ms)")
         return 0
-    queries = translate_mdx(db.schema, mdx)
-    print(f"{len(queries)} component group-by query(ies):")
-    for query in queries:
-        print("  " + query.describe(db.schema))
-    plan = db.optimize(queries, args.algorithm)
-    if args.explain:
-        from .core.explain import explain_plan
+    from contextlib import nullcontext
 
-        print()
-        print(explain_plan(db.schema, db.catalog, plan))
-    report = db.execute(plan)
+    with db.trace() if args.trace else nullcontext():
+        queries = translate_mdx(db.schema, mdx, tracer=db.tracer)
+        print(f"{len(queries)} component group-by query(ies):")
+        for query in queries:
+            print("  " + query.describe(db.schema))
+        plan = db.optimize(queries, args.algorithm)
+        if args.explain:
+            from .core.explain import explain_plan
+
+            print()
+            print(explain_plan(db.schema, db.catalog, plan))
+        report = db.execute(plan)
+    if args.trace:
+        from .obs.export import write_chrome_trace, write_trace
+
+        if args.trace.endswith(".chrome.json"):
+            write_chrome_trace(db.last_trace, args.trace)
+        else:
+            write_trace(db.last_trace, args.trace)
+        print(f"\ntrace written to {args.trace}")
     print()
     print(report.summary())
+    if args.analyze:
+        print()
+        print(report.explain_analyze(db.schema, db.catalog))
     for query in queries:
         result = report.result_for(query)
         print(f"\n{query.display_name()}: {result.n_groups} group(s)")

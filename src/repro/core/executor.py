@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List
 
+from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
 from ..storage.iostats import IOStats
 from .operators.hash_join import SharedScanHashStarJoin
@@ -119,23 +120,42 @@ class ExecutionReport:
 def run_class(ctx: ExecContext, plan_class: PlanClass) -> List[QueryResult]:
     """Execute one class with the operator its method mix calls for.
 
-    Results are returned in the class's plan order.
+    Results are returned in the class's plan order.  When the context's
+    tracer is live, the physical operator runs inside an
+    ``operator.<kind>`` span whose cost-clock delta is exactly the class's
+    charged work.
     """
     queries = plan_class.queries
     source = plan_class.source
+    tracer = ctx.tracer
     if plan_class.is_pure_hash:
-        return SharedScanHashStarJoin(ctx, source, queries).run()
+        with tracer.span(
+            "operator.shared_scan_hash", source=source, n_queries=len(queries)
+        ):
+            return SharedScanHashStarJoin(ctx, source, queries).run()
     if plan_class.is_pure_index:
         if len(queries) == 1:
-            return IndexStarJoin(ctx, source, queries[0]).run()
-        return SharedIndexStarJoin(ctx, source, queries).run()
+            with tracer.span("operator.index_star", source=source, n_queries=1):
+                return IndexStarJoin(ctx, source, queries[0]).run()
+        with tracer.span(
+            "operator.shared_index", source=source, n_queries=len(queries)
+        ):
+            return SharedIndexStarJoin(ctx, source, queries).run()
     hash_queries = [
         p.query for p in plan_class.plans if p.method is JoinMethod.HASH
     ]
     index_queries = [
         p.query for p in plan_class.plans if p.method is JoinMethod.INDEX
     ]
-    by_qid = SharedHybridStarJoin(ctx, source, hash_queries, index_queries).run()
+    with tracer.span(
+        "operator.shared_hybrid",
+        source=source,
+        n_hash=len(hash_queries),
+        n_index=len(index_queries),
+    ):
+        by_qid = SharedHybridStarJoin(
+            ctx, source, hash_queries, index_queries
+        ).run()
     return [by_qid[q.qid] for q in queries]
 
 
@@ -145,20 +165,42 @@ def execute_plan(
     """Execute every class of ``plan``; measure each separately."""
     report = ExecutionReport(plan=plan)
     ctx = db.ctx()
-    for plan_class in plan.classes:
-        if cold:
-            db.flush()
-        before = db.stats.snapshot()
-        started = time.perf_counter()
-        results = run_class(ctx, plan_class)
-        wall_s = time.perf_counter() - started
-        delta = db.stats.delta_since(before)
-        report.class_executions.append(
-            ClassExecution(
-                plan_class=plan_class,
-                results=results,
-                sim=delta,
-                wall_s=wall_s,
+    metrics = default_registry()
+    classes_counter = metrics.counter(
+        "executor.classes_executed", "plan classes run to completion"
+    )
+    queries_counter = metrics.counter(
+        "executor.queries_executed", "component queries answered"
+    )
+    with ctx.tracer.span(
+        "execute.plan",
+        algorithm=plan.algorithm,
+        n_classes=len(plan.classes),
+        n_queries=plan.n_queries,
+    ):
+        for plan_class in plan.classes:
+            if cold:
+                db.flush()
+            with ctx.tracer.span(
+                "execute.class",
+                source=plan_class.source,
+                n_queries=len(plan_class.queries),
+                methods=[p.method.name for p in plan_class.plans],
+            ) as span:
+                before = db.stats.snapshot()
+                started = time.perf_counter()
+                results = run_class(ctx, plan_class)
+                wall_s = time.perf_counter() - started
+                delta = db.stats.delta_since(before)
+                span.set("sim_ms", round(delta.total_ms, 3))
+            classes_counter.inc()
+            queries_counter.inc(len(plan_class.queries))
+            report.class_executions.append(
+                ClassExecution(
+                    plan_class=plan_class,
+                    results=results,
+                    sim=delta,
+                    wall_s=wall_s,
+                )
             )
-        )
     return report

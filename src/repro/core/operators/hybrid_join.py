@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ...obs.metrics import default_registry
 from ...schema.lattice import source_can_answer
 from ...schema.query import GroupByQuery
 from .index_join import query_result_bitmap
@@ -82,6 +83,10 @@ class SharedHybridStarJoin:
         ]
         n_dims = ctx.schema.n_dims
         capacity = self.source.table.capacity
+        routed = default_registry().counter(
+            "executor.tuples_routed",
+            "retrieved tuples tested against a query's result bitmap",
+        )
         # Phase 2: one shared sequential scan feeds everybody.
         for page in self.source.table.scan_pages(ctx.pool):
             keys, measures = page_columns(page, n_dims)
@@ -93,6 +98,7 @@ class SharedHybridStarJoin:
             stop = start + len(page.rows)
             for pipe, bits in zip(index_pipes, index_filters):
                 ctx.stats.charge_bitmap_test(len(page.rows))
+                routed.inc(len(page.rows))
                 mine = bits[start:stop]
                 if not mine.any():
                     continue

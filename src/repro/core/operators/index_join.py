@@ -16,6 +16,7 @@ import numpy as np
 
 from ...index.bitmap import Bitmap, and_all
 from ...index.bitmap_index import JoinIndex
+from ...obs.metrics import default_registry
 from ...schema.lattice import source_can_answer
 from ...schema.query import DimPredicate, GroupByQuery
 from ...storage.catalog import TableEntry
@@ -89,6 +90,9 @@ def query_result_bitmap(
     result = and_all(per_dim, n_bits=entry.table.n_rows)
     if len(per_dim) > 1:
         ctx.stats.charge_bitmap_words(result.n_words * (len(per_dim) - 1))
+        default_registry().counter(
+            "bitmap.and_ops", "bitmap AND operations (across dimensions)"
+        ).inc(len(per_dim) - 1)
     return result
 
 
@@ -185,17 +189,26 @@ class SharedIndexStarJoin:
             union.words |= bitmap.words
         if len(per_query) > 1:
             ctx.stats.charge_bitmap_words(union.n_words * (len(per_query) - 1))
+        metrics = default_registry()
+        metrics.counter(
+            "bitmap.or_ops", "bitmap OR operations (union of result bitmaps)"
+        ).inc(max(len(per_query) - 1, 0))
         # Step 2: probe the base table once with the union bitmap.
         positions = union.positions()
         keys, measures = _probe_and_collect(ctx, self.source, positions)
         # Step 3: "Filter tuples" — route each tuple to the queries whose own
         # bitmap has its position set.  Step 4: per-query aggregation.
+        routed = metrics.counter(
+            "executor.tuples_routed",
+            "retrieved tuples tested against a query's result bitmap",
+        )
         rollups = RollupCache(
             ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
         )
         results: List[QueryResult] = []
         for query, bitmap in zip(self.queries, per_query):
             ctx.stats.charge_bitmap_test(positions.size)
+            routed.inc(int(positions.size))
             mine = bitmap.to_bool_array()[positions] if positions.size else (
                 np.empty(0, dtype=bool)
             )

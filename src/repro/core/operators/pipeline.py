@@ -14,11 +14,12 @@ several hash tables on the same dimension tables").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...obs.trace import NULL_TRACER
 from ...schema.lattice import aggregate_compatible, effective_aggregate
 from ...schema.query import DimPredicate, GroupByQuery
 from ...schema.star import StarSchema
@@ -37,6 +38,9 @@ class ExecContext:
     ``dim_tables`` (optional) maps dimension names to stored dimension
     tables; when present, building a dimension hash structure charges a
     scan of that table (see :meth:`Database.store_dimension_tables`).
+
+    ``tracer`` receives execution spans; the default no-op tracer makes
+    untraced runs free (see :mod:`repro.obs.trace`).
     """
 
     schema: StarSchema
@@ -44,6 +48,7 @@ class ExecContext:
     pool: BufferPool
     stats: IOStats
     dim_tables: Optional[Dict[str, object]] = None
+    tracer: object = field(default=NULL_TRACER)
 
     def entry(self, table_name: str) -> TableEntry:
         """Catalog entry by table name."""

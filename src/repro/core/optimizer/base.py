@@ -5,6 +5,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ...obs.metrics import default_registry
+from ...obs.trace import NULL_TRACER
 from ...schema.query import GroupByQuery
 from ...storage.catalog import TableEntry
 from .cost import CostModel
@@ -65,6 +67,18 @@ class Optimizer(ABC):
     def entries(self) -> List[TableEntry]:
         """All registered entries, in registration order."""
         return self.db.catalog.entries()
+
+    @property
+    def tracer(self):
+        """The owning database's tracer (no-op unless tracing is enabled)."""
+        return getattr(self.db, "tracer", NULL_TRACER)
+
+    def _count_class_opened(self, n: int = 1) -> None:
+        """Bump the ``optimizer.classes_opened`` metric."""
+        default_registry().counter(
+            "optimizer.classes_opened",
+            "plan classes opened on a new base table during planning",
+        ).inc(n)
 
     @abstractmethod
     def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:

@@ -47,46 +47,52 @@ class ETPLGOptimizer(Optimizer):
         ordered = sorted(queries, key=self.sort_key)
         classes: List[_Class] = []
         used: Set[str] = set()
-        for query in ordered:
-            # The best still-unused materialized group-by D (the MSet).
-            unused = [e for e in self.entries() if e.name not in used]
-            d_entry: Optional[TableEntry] = None
-            d_cost = float("inf")
-            if unused:
-                try:
-                    d_entry, _method, d_cost = self.model.best_local(
-                        query, unused
-                    )
-                except ValueError:
-                    d_entry = None
-            # The cheapest class to join: marginal CostOfUsing(S.BaseTable()).
-            best_class: Optional[_Class] = None
-            best_marginal = float("inf")
+        with self.tracer.span(
+            "optimize.etplg.grow", n_queries=len(queries)
+        ) as grow_span:
+            for query in ordered:
+                # The best still-unused materialized group-by D (the MSet).
+                unused = [e for e in self.entries() if e.name not in used]
+                d_entry: Optional[TableEntry] = None
+                d_cost = float("inf")
+                if unused:
+                    try:
+                        d_entry, _method, d_cost = self.model.best_local(
+                            query, unused
+                        )
+                    except ValueError:
+                        d_entry = None
+                # The cheapest class to join: marginal CostOfUsing(S.BaseTable()).
+                best_class: Optional[_Class] = None
+                best_marginal = float("inf")
+                for cls in classes:
+                    grown = self.model.plan_class(cls.entry, cls.queries + [query])
+                    if grown is None:
+                        continue
+                    current = self.model.plan_class(cls.entry, cls.queries)
+                    assert current is not None
+                    marginal = grown.cost_ms - current.cost_ms
+                    if marginal < best_marginal:
+                        best_marginal = marginal
+                        best_class = cls
+                if best_class is None or (
+                    d_entry is not None and d_cost < best_marginal
+                ):
+                    if d_entry is None:
+                        raise ValueError(
+                            f"no table can answer {query.display_name()}"
+                        )
+                    classes.append(_Class(entry=d_entry, queries=[query]))
+                    used.add(d_entry.name)
+                else:
+                    best_class.queries.append(query)
+            grow_span.set("n_classes", len(classes))
+        self._count_class_opened(len(classes))
+        with self.tracer.span("optimize.etplg.finalize"):
+            plan = GlobalPlan(algorithm=self.name)
             for cls in classes:
-                grown = self.model.plan_class(cls.entry, cls.queries + [query])
-                if grown is None:
-                    continue
-                current = self.model.plan_class(cls.entry, cls.queries)
-                assert current is not None
-                marginal = grown.cost_ms - current.cost_ms
-                if marginal < best_marginal:
-                    best_marginal = marginal
-                    best_class = cls
-            if best_class is None or (
-                d_entry is not None and d_cost < best_marginal
-            ):
-                if d_entry is None:
-                    raise ValueError(
-                        f"no table can answer {query.display_name()}"
-                    )
-                classes.append(_Class(entry=d_entry, queries=[query]))
-                used.add(d_entry.name)
-            else:
-                best_class.queries.append(query)
-        plan = GlobalPlan(algorithm=self.name)
-        for cls in classes:
-            plan.classes.append(
-                build_plan_class(self.model, cls.entry, cls.queries)
-            )
+                plan.classes.append(
+                    build_plan_class(self.model, cls.entry, cls.queries)
+                )
         plan.validate(queries)
         return plan

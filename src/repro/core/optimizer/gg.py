@@ -64,57 +64,66 @@ class GGOptimizer(Optimizer):
         ordered = sorted(queries, key=self.sort_key)
         classes: List[_Class] = []
         used: Set[str] = set()
-        for query in ordered:
-            # Best unused materialized group-by N (the MSet).
-            unused = [e for e in self.entries() if e.name not in used]
-            n_entry: Optional[TableEntry] = None
-            n_cost = float("inf")
-            if unused:
-                try:
-                    n_entry, _method, n_cost = self.model.best_local(
-                        query, unused
-                    )
-                except ValueError:
-                    n_entry = None
-            # Cheapest class to add the query to, allowing a base switch.
-            best_class: Optional[_Class] = None
-            best_rebase: Optional[Tuple[TableEntry, float]] = None
-            best_cost_of_add = float("inf")
+        n_rebases = 0
+        with self.tracer.span(
+            "optimize.gg.grow", n_queries=len(queries)
+        ) as grow_span:
+            for query in ordered:
+                # Best unused materialized group-by N (the MSet).
+                unused = [e for e in self.entries() if e.name not in used]
+                n_entry: Optional[TableEntry] = None
+                n_cost = float("inf")
+                if unused:
+                    try:
+                        n_entry, _method, n_cost = self.model.best_local(
+                            query, unused
+                        )
+                    except ValueError:
+                        n_entry = None
+                # Cheapest class to add the query to, allowing a base switch.
+                best_class: Optional[_Class] = None
+                best_rebase: Optional[Tuple[TableEntry, float]] = None
+                best_cost_of_add = float("inf")
+                for cls in classes:
+                    rebase = self._best_rebase(cls, query)
+                    if rebase is None:
+                        continue
+                    current = self.model.plan_class(cls.entry, cls.queries)
+                    assert current is not None
+                    cost_of_add = rebase[1] - current.cost_ms
+                    if cost_of_add < best_cost_of_add:
+                        best_cost_of_add = cost_of_add
+                        best_class = cls
+                        best_rebase = rebase
+                if best_class is None or (
+                    n_entry is not None and n_cost < best_cost_of_add
+                ):
+                    if n_entry is None:
+                        raise ValueError(
+                            f"no table can answer {query.display_name()}"
+                        )
+                    classes.append(_Class(entry=n_entry, queries=[query]))
+                    used.add(n_entry.name)
+                else:
+                    assert best_rebase is not None
+                    new_entry = best_rebase[0]
+                    if new_entry.name != best_class.entry.name:
+                        # SharedSet = SharedSet - S + S'.
+                        used.discard(best_class.entry.name)
+                        used.add(new_entry.name)
+                        best_class.entry = new_entry
+                        n_rebases += 1
+                    best_class.queries.append(query)
+                    classes = self._merge_classes(classes)
+            grow_span.set("n_classes", len(classes))
+            grow_span.set("n_rebases", n_rebases)
+        self._count_class_opened(len(classes))
+        with self.tracer.span("optimize.gg.finalize"):
+            plan = GlobalPlan(algorithm=self.name)
             for cls in classes:
-                rebase = self._best_rebase(cls, query)
-                if rebase is None:
-                    continue
-                current = self.model.plan_class(cls.entry, cls.queries)
-                assert current is not None
-                cost_of_add = rebase[1] - current.cost_ms
-                if cost_of_add < best_cost_of_add:
-                    best_cost_of_add = cost_of_add
-                    best_class = cls
-                    best_rebase = rebase
-            if best_class is None or (
-                n_entry is not None and n_cost < best_cost_of_add
-            ):
-                if n_entry is None:
-                    raise ValueError(
-                        f"no table can answer {query.display_name()}"
-                    )
-                classes.append(_Class(entry=n_entry, queries=[query]))
-                used.add(n_entry.name)
-            else:
-                assert best_rebase is not None
-                new_entry = best_rebase[0]
-                if new_entry.name != best_class.entry.name:
-                    # SharedSet = SharedSet - S + S'.
-                    used.discard(best_class.entry.name)
-                    used.add(new_entry.name)
-                    best_class.entry = new_entry
-                best_class.queries.append(query)
-                classes = self._merge_classes(classes)
-        plan = GlobalPlan(algorithm=self.name)
-        for cls in classes:
-            plan.classes.append(
-                build_plan_class(self.model, cls.entry, cls.queries)
-            )
+                plan.classes.append(
+                    build_plan_class(self.model, cls.entry, cls.queries)
+                )
         plan.validate(queries)
         return plan
 

@@ -28,33 +28,37 @@ class TPLOOptimizer(Optimizer):
         queries = self._check_input(queries)
         # Phase one: the optimal local plan per query.
         locals_: List[Tuple[GroupByQuery, TableEntry, JoinMethod, float]] = []
-        for query in queries:
-            entry, method, cost = self.model.best_local(query)
-            locals_.append((query, entry, method, cost))
+        with self.tracer.span("optimize.tplo.local", n_queries=len(queries)):
+            for query in queries:
+                entry, method, cost = self.model.best_local(query)
+                locals_.append((query, entry, method, cost))
         # Phase two: merge plans sharing a base table into classes.  Local
         # method choices are kept (phase two only shares subtasks; it does
         # not re-plan).
-        by_source: Dict[str, List[Tuple[GroupByQuery, TableEntry, JoinMethod, float]]] = {}
-        for item in locals_:
-            by_source.setdefault(item[1].name, []).append(item)
-        plan = GlobalPlan(algorithm=self.name)
-        for source, items in by_source.items():
-            entry = items[0][1]
-            class_queries = [item[0] for item in items]
-            methods = [item[2] for item in items]
-            est = self.model.class_cost_given(entry, class_queries, methods)
-            plans = [
-                LocalPlan(
-                    query=query,
-                    source=source,
-                    method=method,
-                    est_standalone_ms=cost,
-                    est_marginal_ms=cost,
+        with self.tracer.span("optimize.tplo.merge") as merge_span:
+            by_source: Dict[str, List[Tuple[GroupByQuery, TableEntry, JoinMethod, float]]] = {}
+            for item in locals_:
+                by_source.setdefault(item[1].name, []).append(item)
+            plan = GlobalPlan(algorithm=self.name)
+            for source, items in by_source.items():
+                entry = items[0][1]
+                class_queries = [item[0] for item in items]
+                methods = [item[2] for item in items]
+                est = self.model.class_cost_given(entry, class_queries, methods)
+                plans = [
+                    LocalPlan(
+                        query=query,
+                        source=source,
+                        method=method,
+                        est_standalone_ms=cost,
+                        est_marginal_ms=cost,
+                    )
+                    for query, _entry, method, cost in items
+                ]
+                plan.classes.append(
+                    PlanClass(source=source, plans=plans, est_cost_ms=est)
                 )
-                for query, _entry, method, cost in items
-            ]
-            plan.classes.append(
-                PlanClass(source=source, plans=plans, est_cost_ms=est)
-            )
+            merge_span.set("n_classes", len(plan.classes))
+        self._count_class_opened(len(plan.classes))
         plan.validate(queries)
         return plan

@@ -14,9 +14,12 @@ clock, and exposes the full workflow of the paper:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.operators.pipeline import ExecContext
+from ..obs.metrics import default_registry
+from ..obs.trace import NULL_TRACER, Span, Tracer
 from ..schema.query import GroupByQuery
 from ..schema.star import StarSchema
 from ..storage.buffer import DEFAULT_POOL_PAGES, BufferPool
@@ -54,6 +57,11 @@ class Database:
         #: Stored dimension tables (see :meth:`store_dimension_tables`);
         #: empty means dimension hash builds charge CPU only.
         self.dimension_tables: dict = {}
+        #: The live tracer; the no-op NULL_TRACER unless inside
+        #: :meth:`trace`, so untraced operation costs nothing.
+        self.tracer = NULL_TRACER
+        #: Root span of the most recent finished :meth:`trace` block.
+        self.last_trace: Optional[Span] = None
 
     # -- loading and precomputation -------------------------------------------
 
@@ -231,7 +239,39 @@ class Database:
             pool=self.pool,
             stats=self.stats,
             dim_tables=self.dimension_tables or None,
+            tracer=self.tracer,
         )
+
+    @contextmanager
+    def trace(
+        self,
+        label: str = "batch",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> Iterator[Tracer]:
+        """Trace everything inside the ``with`` block into one span tree.
+
+        A real :class:`~repro.obs.trace.Tracer` (bound to this database's
+        cost clock; ``clock`` injectable for deterministic tests) replaces
+        the no-op tracer for the duration; a root span named ``label``
+        wraps the block.  Afterwards the finished tree is available as
+        :attr:`last_trace`::
+
+            with db.trace() as tracer:
+                db.run_queries(queries, "gg")
+            print(db.last_trace.find("execute.plan").sim_ms)
+
+        Export with :func:`repro.obs.write_trace` /
+        :func:`repro.obs.to_chrome_trace`.
+        """
+        tracer = Tracer(stats=self.stats, clock=clock)
+        root = tracer.span(label)
+        self.tracer = tracer
+        try:
+            with root:
+                yield tracer
+        finally:
+            self.tracer = NULL_TRACER
+            self.last_trace = root
 
     def flush(self) -> None:
         """Drop all cached pages — the paper's cold-start discipline."""
@@ -256,12 +296,20 @@ class Database:
         from ..core.optimizer import make_optimizer
 
         optimizer = make_optimizer(algorithm, self)
-        started = _time.perf_counter()
-        plan = optimizer.optimize(list(queries))
-        plan.search_stats = {
-            "plan_costings": optimizer.model.n_plan_costings,
-            "planning_s": _time.perf_counter() - started,
-        }
+        with self.tracer.span(
+            f"optimize.{algorithm}", n_queries=len(queries)
+        ) as span:
+            started = _time.perf_counter()
+            plan = optimizer.optimize(list(queries))
+            plan.search_stats = {
+                "plan_costings": optimizer.model.n_plan_costings,
+                "planning_s": _time.perf_counter() - started,
+            }
+            span.set("plan_costings", optimizer.model.n_plan_costings)
+            span.set("n_classes", len(plan.classes))
+        default_registry().counter(
+            "optimizer.plan_costings", "class costings computed while planning"
+        ).inc(optimizer.model.n_plan_costings)
         return plan
 
     def execute(self, plan: "GlobalPlan", cold: bool = True) -> "ExecutionReport":
@@ -287,7 +335,7 @@ class Database:
         queries, optimize them as a unit, and execute."""
         from ..mdx import translate_mdx
 
-        queries = translate_mdx(self.schema, text)
+        queries = translate_mdx(self.schema, text, tracer=self.tracer)
         return self.run_queries(queries, algorithm=algorithm, cold=cold)
 
     # -- inspection ----------------------------------------------------------------

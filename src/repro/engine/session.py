@@ -88,7 +88,9 @@ class QuerySession:
         from ..mdx import translate_mdx
 
         prefix = label_prefix or f"mdx{len(self._submitted)}"
-        self.add_queries(translate_mdx(self.db.schema, text, prefix))
+        self.add_queries(
+            translate_mdx(self.db.schema, text, prefix, tracer=self.db.tracer)
+        )
         return self
 
     @property
@@ -114,8 +116,14 @@ class QuerySession:
             canonical.setdefault(key, query)
             members.setdefault(key, []).append(query)
         distinct = list(canonical.values())
-        plan = self.db.optimize(distinct, self.algorithm)
-        execution = self.db.execute(plan, cold=cold)
+        with self.db.tracer.span(
+            "session.run",
+            algorithm=self.algorithm,
+            n_submitted=len(self._submitted),
+            n_distinct=len(distinct),
+        ):
+            plan = self.db.optimize(distinct, self.algorithm)
+            execution = self.db.execute(plan, cold=cold)
         report = SessionReport(
             execution=execution,
             n_submitted=len(self._submitted),

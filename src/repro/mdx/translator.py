@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs.trace import NULL_TRACER
 from ..schema.query import Aggregate, DimPredicate, GroupBy, GroupByQuery
 from ..schema.star import StarSchema
 from .ast import (
@@ -145,11 +146,33 @@ def _resolve_slicer(
 
 
 def translate_expression(
-    schema: StarSchema, expression: MdxExpression, label_prefix: str = "MDX"
+    schema: StarSchema,
+    expression: MdxExpression,
+    label_prefix: str = "MDX",
+    tracer=NULL_TRACER,
 ) -> List[GroupByQuery]:
-    """Split a parsed MDX expression into its component group-by queries."""
-    axis_groups = [_group_axis(schema, clause) for clause in expression.axes]
-    slicer = _resolve_slicer(schema, expression.slicer)
+    """Split a parsed MDX expression into its component group-by queries.
+
+    ``tracer`` (optional) receives ``mdx.resolve`` and ``mdx.translate``
+    spans around member resolution and query assembly.
+    """
+    with tracer.span("mdx.resolve", n_axes=len(expression.axes)):
+        axis_groups = [
+            _group_axis(schema, clause) for clause in expression.axes
+        ]
+        slicer = _resolve_slicer(schema, expression.slicer)
+    with tracer.span("mdx.translate") as span:
+        queries = _assemble_queries(schema, axis_groups, slicer, label_prefix)
+        span.set("n_queries", len(queries))
+    return queries
+
+
+def _assemble_queries(
+    schema: StarSchema,
+    axis_groups: List[List[Dict[int, ResolvedSelection]]],
+    slicer: Dict[int, ResolvedSelection],
+    label_prefix: str,
+) -> List[GroupByQuery]:
     queries: List[GroupByQuery] = []
     for combo in itertools.product(*axis_groups):
         levels = [dim.all_level for dim in schema.dimensions]
@@ -198,7 +221,13 @@ def translate_expression(
 
 
 def translate_mdx(
-    schema: StarSchema, text: str, label_prefix: str = "MDX"
+    schema: StarSchema, text: str, label_prefix: str = "MDX", tracer=NULL_TRACER
 ) -> List[GroupByQuery]:
-    """Parse + translate one MDX string into its component queries."""
-    return translate_expression(schema, parse_mdx(text), label_prefix)
+    """Parse + translate one MDX string into its component queries.
+
+    ``tracer`` (optional) wraps the phases in ``mdx.parse``,
+    ``mdx.resolve``, and ``mdx.translate`` spans.
+    """
+    with tracer.span("mdx.parse", n_chars=len(text)):
+        expression = parse_mdx(text)
+    return translate_expression(schema, expression, label_prefix, tracer=tracer)

@@ -1,0 +1,63 @@
+"""Observability: tracing spans, a metrics registry, and trace export.
+
+The layer the paper's evaluation methodology implies but a reproduction
+usually skips: per-phase, per-operator accounting of both wall-clock time
+and the simulated cost clock, so claims like "random base-table probes
+dominate shared index star-join time" can be re-verified from a trace
+instead of re-derived from aggregate totals.
+
+Three modules:
+
+* :mod:`repro.obs.trace` — hierarchical spans (``with tracer.span(...)``)
+  recording wall time, cost-clock deltas, and attributes; a no-op
+  :data:`NULL_TRACER` keeps disabled instrumentation free.
+* :mod:`repro.obs.metrics` — process-global counters/gauges/histograms
+  (``buffer.hits``, ``optimizer.classes_opened``, ...).
+* :mod:`repro.obs.export` — JSON span trees, Chrome-trace event lists, and
+  flat metrics dumps.
+
+Enable tracing through :meth:`repro.engine.database.Database.trace` or the
+CLI's ``--trace out.json``; see ``docs/observability.md`` for the span and
+metric naming conventions.
+"""
+
+from .export import (
+    metrics_to_dict,
+    span_from_dict,
+    to_chrome_trace,
+    trace_to_dict,
+    write_chrome_trace,
+    write_trace,
+)
+from .metrics import (
+    Counter,
+    DuplicateMetricError,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DuplicateMetricError",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "metrics_to_dict",
+    "set_default_registry",
+    "span_from_dict",
+    "to_chrome_trace",
+    "trace_to_dict",
+    "write_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,127 @@
+"""Trace and metrics export: JSON span trees, Chrome-trace events, flat dumps.
+
+Three consumers, three shapes:
+
+* :func:`trace_to_dict` / :func:`span_from_dict` — a nested, JSON-able span
+  tree (and its inverse) for programmatic analysis and golden tests,
+* :func:`to_chrome_trace` — a Chrome-trace-compatible event list (load the
+  file in ``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_),
+  with wall time on the timeline and simulated cost in each event's args,
+* :func:`metrics_to_dict` — the flat ``{name: value}`` metrics dump.
+
+Wall times in exports are *relative to the root span* so traces from
+different runs line up; simulated cost deltas are embedded per span as the
+full counter dict (see :meth:`~repro.storage.iostats.IOStats.as_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+PathLike = Union[str, Path]
+
+
+def _sim_dict(span: Span) -> Optional[dict]:
+    sim = span.sim
+    if sim is None:
+        return None
+    if isinstance(sim, dict):  # a span rebuilt by span_from_dict
+        return dict(sim)
+    return sim.as_dict()
+
+
+def trace_to_dict(span: Span, _epoch: Optional[float] = None) -> dict:
+    """One span and its subtree as a nested JSON-able dict.
+
+    ``start_ms`` is relative to the root of the exported tree; ``sim`` is
+    the span's cost-clock counter delta (or None when untracked).
+    """
+    if _epoch is None:
+        _epoch = span.start_s or 0.0
+    start_ms = ((span.start_s or 0.0) - _epoch) * 1000.0
+    return {
+        "name": span.name,
+        "start_ms": round(start_ms, 6),
+        "wall_ms": round(span.wall_ms, 6),
+        "attrs": dict(span.attrs),
+        "sim": _sim_dict(span),
+        "children": [trace_to_dict(c, _epoch) for c in span.children],
+    }
+
+
+def span_from_dict(data: dict, tracer: Optional[Tracer] = None) -> Span:
+    """Rebuild a detached :class:`Span` tree from :func:`trace_to_dict`
+    output (round-trip: re-exporting it yields an equal dict).
+
+    The rebuilt spans carry their ``sim`` delta as the exported plain dict,
+    not a live ``IOStats``.
+    """
+    if tracer is None:
+        tracer = Tracer()
+    span = Span(tracer, data["name"], dict(data.get("attrs", {})))
+    span.start_s = data.get("start_ms", 0.0) / 1000.0
+    span.end_s = span.start_s + data.get("wall_ms", 0.0) / 1000.0
+    span.sim = data.get("sim")
+    for child in data.get("children", ()):
+        span.children.append(span_from_dict(child, tracer))
+    return span
+
+
+def to_chrome_trace(
+    span: Span, pid: int = 1, tid: int = 1
+) -> List[dict]:
+    """The span tree as Chrome-trace "complete" (``ph: "X"``) events.
+
+    Timestamps and durations are microseconds relative to the root span;
+    each event's ``args`` carries the span attributes plus the simulated
+    I/O/CPU/total milliseconds, so both clocks are visible in the viewer.
+    """
+    epoch = span.start_s or 0.0
+    events: List[dict] = []
+    for node in span.walk():
+        args = dict(node.attrs)
+        sim = _sim_dict(node)
+        if sim is not None:
+            args["sim_io_ms"] = sim["io_ms"]
+            args["sim_cpu_ms"] = sim["cpu_ms"]
+            args["sim_total_ms"] = sim["total_ms"]
+        events.append(
+            {
+                "name": node.name,
+                "ph": "X",
+                "ts": round(((node.start_s or 0.0) - epoch) * 1e6, 3),
+                "dur": round(node.wall_s * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_trace(span: Span, path: PathLike, indent: int = 2) -> Path:
+    """Write a span tree as a JSON file (see :func:`trace_to_dict`);
+    returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(span), indent=indent) + "\n")
+    return path
+
+
+def write_chrome_trace(span: Span, path: PathLike) -> Path:
+    """Write a span tree as a Chrome-trace JSON event list; returns the
+    path written."""
+    path = Path(path)
+    path.write_text(
+        json.dumps({"traceEvents": to_chrome_trace(span)}, indent=2) + "\n"
+    )
+    return path
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> dict:
+    """Flat ``{name: value}`` dump of a registry (alias of ``as_dict``)."""
+    return registry.as_dict()

@@ -1,0 +1,247 @@
+"""Process-wide metrics: counters, gauges, and histograms in a registry.
+
+Components register metrics against the **default registry** (swap it in
+tests with :func:`set_default_registry`) and bump them as they work:
+``buffer.hits`` / ``buffer.misses`` from the buffer pool, ``table.scans`` /
+``table.probe_pages`` from heap tables, ``optimizer.classes_opened`` from
+the greedy planners, ``executor.classes_executed`` /
+``executor.tuples_routed`` from the executor and shared operators,
+``bitmap.or_ops`` from the bitmap phases.
+
+Metric naming convention (see ``docs/observability.md``): dotted lowercase
+``<component>.<what>``, plural for event counts.
+
+Unlike spans — which attribute cost to *one batch's phases* — metrics are
+cumulative over the process: cheap enough to leave on always, and the right
+shape for "how many buffer misses since startup" questions.  Acquiring an
+already-registered metric by name is a dict lookup; incrementing is one
+method call, so instrumentation stays out of per-tuple loops (components
+charge in batches, mirroring :class:`~repro.storage.iostats.IOStats`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class MetricError(ValueError):
+    """Base class for metric registration problems."""
+
+
+class DuplicateMetricError(MetricError):
+    """Raised when a name is registered twice (or with conflicting kinds)."""
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the count."""
+        self.value = 0
+
+    def dump(self) -> int:
+        """The current count (the flat-export value)."""
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (pool occupancy, queue depth)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta`` (may be negative)."""
+        self.value += delta
+
+    def reset(self) -> None:
+        """Zero the value."""
+        self.value = 0.0
+
+    def dump(self) -> float:
+        """The current value (the flat-export value)."""
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A summary of observed values: count, sum, min, max, and mean."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "count", "total", "min", "max")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def dump(self) -> dict:
+        """Summary dict (the flat-export value)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3f})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics.
+
+    The ``counter()`` / ``gauge()`` / ``histogram()`` accessors are
+    *get-or-create*: the first call registers, later calls return the same
+    instance — so instrumented components need no setup order.  Asking for
+    an existing name as a different kind raises
+    :class:`DuplicateMetricError`, as does :meth:`register` on a taken name.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, metric: Metric) -> Metric:
+        """Add an externally built metric; the name must be free."""
+        if metric.name in self._metrics:
+            raise DuplicateMetricError(
+                f"metric {metric.name!r} is already registered"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise DuplicateMetricError(
+                    f"metric {name!r} is registered as a {existing.kind}, "
+                    f"not a {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name``, creating it on first use."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name``, creating it on first use."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """The histogram named ``name``, creating it on first use."""
+        return self._get_or_create(Histogram, name, help)
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, name: str) -> Metric:
+        """The metric named ``name`` (KeyError if absent)."""
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict:
+        """Flat ``{name: value}`` dump (histograms dump a summary dict)."""
+        return {metric.name: metric.dump() for metric in self}
+
+    def reset(self) -> None:
+        """Zero every registered metric (registrations are kept)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self)} metric(s))"
+
+
+_default = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry instrumented components register against."""
+    return _default
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests isolate with a fresh one); returns
+    the previous registry.
+
+    Components resolve their metrics from the default registry when they are
+    *constructed* — swap before building the objects under test.
+    """
+    global _default
+    previous = _default
+    _default = registry
+    return previous

@@ -1,0 +1,232 @@
+"""Hierarchical tracing: context-manager spans over a query batch's life.
+
+A :class:`Span` records three things about one phase of work:
+
+* **wall-clock time** from an injectable monotonic clock (tests pass a fake
+  clock to make timings deterministic),
+* **simulated cost-clock deltas** by snapshotting the
+  :class:`~repro.storage.iostats.IOStats` instance at entry and exit, so
+  every span knows exactly which page reads and CPU charges happened inside
+  it — the paper's per-phase accounting (e.g. "more than 80% of the shared
+  index star join time is spent on probing the base table") falls straight
+  out of the span tree,
+* **key/value attributes** set at creation or mid-span.
+
+Spans nest: entering a span while another is open makes it a child, so one
+traced batch produces one tree (``batch`` → ``optimize.gg`` →
+``execute.plan`` → ``execute.class`` → ``operator.shared_scan_hash``).
+
+Tracing is **zero-overhead by default**: every instrumentation point holds a
+:class:`NullTracer` (the :data:`NULL_TRACER` singleton) whose ``span()``
+returns one shared no-op span — no allocation, no clock read, no stats
+snapshot.  Enabling tracing (``Database.trace()``) swaps in a real
+:class:`Tracer` for the duration of the ``with`` block.
+
+Span naming convention (see ``docs/observability.md``): dotted lowercase
+components, ``<layer>.<phase>`` — ``mdx.parse``, ``optimize.<algorithm>``,
+``optimize.<algorithm>.<phase>``, ``execute.plan``, ``execute.class``,
+``operator.<kind>``, ``session.run``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed phase of work; a context manager.
+
+    Created by :meth:`Tracer.span`; do not instantiate directly.  While the
+    ``with`` block is open the span is on the tracer's stack and new spans
+    nest under it.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "start_s",
+        "end_s",
+        "sim",
+        "_tracer",
+        "_start_stats",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        #: IOStats delta charged while the span was open (None when the
+        #: tracer has no stats attached, or while still open).
+        self.sim = None
+        self._tracer = tracer
+        self._start_stats = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer._stack:
+            tracer._stack[-1].children.append(self)
+        else:
+            tracer.roots.append(self)
+        tracer._stack.append(self)
+        if tracer.stats is not None:
+            self._start_stats = tracer.stats.snapshot()
+        self.start_s = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        self.end_s = tracer.clock()
+        if self._start_stats is not None:
+            self.sim = tracer.stats.delta_since(self._start_stats)
+            self._start_stats = None
+        if not tracer._stack or tracer._stack[-1] is not self:
+            raise RuntimeError(
+                f"span {self.name!r} closed out of order "
+                f"(open stack: {[s.name for s in tracer._stack]})"
+            )
+        tracer._stack.pop()
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns the span for chaining."""
+        self.attrs[key] = value
+        return self
+
+    # -- timing ---------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock seconds between entry and exit (0.0 while open)."""
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def wall_ms(self) -> float:
+        """Wall-clock milliseconds between entry and exit."""
+        return self.wall_s * 1000.0
+
+    @property
+    def sim_ms(self) -> float:
+        """Simulated milliseconds charged inside the span (0.0 untracked)."""
+        return self.sim.total_ms if self.sim is not None else 0.0
+
+    # -- navigation -----------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span (depth-first, self included) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        """Every span (depth-first, self included) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, wall={self.wall_ms:.3f}ms, "
+            f"sim={self.sim_ms:.1f}ms, {len(self.children)} child(ren))"
+        )
+
+
+class Tracer:
+    """Builds span trees; one instance traces one batch (or more).
+
+    ``stats`` is any object with ``snapshot()`` / ``delta_since()`` (an
+    :class:`~repro.storage.iostats.IOStats`); when given, every span carries
+    the cost-clock delta charged inside it.  ``clock`` is a zero-argument
+    monotonic-seconds callable, ``time.perf_counter`` by default —
+    injectable so tests see deterministic wall times.
+    """
+
+    #: A real tracer records spans (checked by instrumentation that wants to
+    #: skip attribute computation entirely when tracing is off).
+    enabled = True
+
+    def __init__(
+        self,
+        stats: Optional[Any] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.stats = stats
+        self.clock = clock or time.perf_counter
+        #: Finished (or open) top-level spans, in start order.
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span, nested under the currently open one (if any)."""
+        return Span(self, name, attrs)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer({len(self.roots)} root span(s), "
+            f"depth={len(self._stack)})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span: one shared instance, every call a no-op."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    sim = None
+    wall_s = 0.0
+    wall_ms = 0.0
+    sim_ms = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+
+class NullTracer:
+    """The disabled tracer: ``span()`` hands back one shared no-op span.
+
+    No allocation, no clock read, no stats snapshot — instrumentation left
+    in place costs a method call and nothing else.
+    """
+
+    enabled = False
+    stats = None
+    roots: List[Span] = []
+    current = None
+
+    _SPAN = _NullSpan()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """The shared no-op span (ignores all arguments)."""
+        return self._SPAN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullTracer()"
+
+
+#: Process-wide disabled tracer; instrumented components default to it.
+NULL_TRACER = NullTracer()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Tuple
 
+from ..obs.metrics import default_registry
 from .iostats import IOStats
 from .page import Page
 
@@ -41,6 +42,16 @@ class BufferPool:
         self._frames: OrderedDict[FrameKey, Page] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        metrics = default_registry()
+        self._hits_metric = metrics.counter(
+            "buffer.hits", "buffer-pool page requests served from a frame"
+        )
+        self._misses_metric = metrics.counter(
+            "buffer.misses", "buffer-pool page requests charged as I/O"
+        )
+        self._evictions_metric = metrics.counter(
+            "buffer.evictions", "frames dropped to admit a new page"
+        )
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -58,9 +69,11 @@ class BufferPool:
         if frame is not None:
             self._frames.move_to_end(key)
             self.hits += 1
+            self._hits_metric.inc()
             self.stats.charge_buffer_hit()
             return frame
         self.misses += 1
+        self._misses_metric.inc()
         page = table.page(page_no)
         if sequential:
             self.stats.charge_seq_read()
@@ -85,6 +98,7 @@ class BufferPool:
     def _admit(self, key: FrameKey, page: Page) -> None:
         while len(self._frames) >= self.capacity_pages:
             self._frames.popitem(last=False)
+            self._evictions_metric.inc()
         self._frames[key] = page
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Sequence, Tuple
 
+from ..obs.metrics import default_registry
 from .page import DEFAULT_PAGE_SIZE, Page, Row, rows_per_page
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -117,6 +118,11 @@ class HeapTable:
 
     def scan_pages(self, pool: "BufferPool") -> Iterator[Page]:
         """Sequentially scan all pages through the buffer pool."""
+        metrics = default_registry()
+        metrics.counter("table.scans", "full sequential table scans").inc()
+        metrics.counter(
+            "table.scan_pages", "pages requested by sequential scans"
+        ).inc(self.n_pages)
         for page_no in range(self.n_pages):
             yield pool.get_page(self, page_no, sequential=True)
 
@@ -126,6 +132,9 @@ class HeapTable:
         """Fetch rows by global position, charging one random read per
         *distinct page* in first-touch order (consecutive positions on the
         same page share the fetch, as a real probe of sorted RIDs would)."""
+        probe_pages = default_registry().counter(
+            "table.probe_pages", "distinct pages fetched by random probes"
+        )
         current_page_no = -1
         current_page: Page | None = None
         for position in positions:
@@ -133,6 +142,7 @@ class HeapTable:
             if page_no != current_page_no:
                 current_page = pool.get_page(self, page_no, sequential=False)
                 current_page_no = page_no
+                probe_pages.inc()
             assert current_page is not None
             yield position, current_page[slot]
 

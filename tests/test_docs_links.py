@@ -1,0 +1,73 @@
+"""Documentation consistency: every relative link in the markdown docs
+resolves to a real file, and every backticked ``repro.*`` dotted path names
+an importable module or an attribute on one.  Keeps the docs from drifting
+away from the code they describe."""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+# [text](target) — excluding images and external/anchor-only targets.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+# `repro.something.more` — dotted module/attribute paths in backticks.
+_MODPATH_RE = re.compile(r"`(repro(?:\.\w+)+)`")
+
+
+def _relative_links(text):
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def _resolves(dotted: str) -> bool:
+    """True if ``dotted`` is an importable module, or an attribute chain
+    hanging off its longest importable prefix (e.g. a class or function)."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def test_doc_files_exist():
+    assert (REPO_ROOT / "README.md").exists()
+    assert any(p.name == "observability.md" for p in DOC_FILES)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = [
+        target
+        for target in _relative_links(doc.read_text())
+        if target and not (doc.parent / target).exists()
+    ]
+    assert not broken, f"{doc.name}: broken relative links {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_module_paths_resolve(doc):
+    stale = [
+        dotted
+        for dotted in sorted(set(_MODPATH_RE.findall(doc.read_text())))
+        if not _resolves(dotted)
+    ]
+    assert not stale, f"{doc.name}: stale module paths {stale}"

@@ -1,0 +1,154 @@
+"""Metrics registry: counters/gauges/histograms, get-or-create semantics,
+double-registration errors, and the swappable default registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DuplicateMetricError,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.dump() == 42
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("events").inc(-1)
+
+    def test_reset(self):
+        c = Counter("events")
+        c.inc(5)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+        assert g.dump() == 7.0
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram("latency")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+        assert h.dump() == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_empty(self):
+        h = Histogram("latency")
+        assert h.mean == 0.0
+        assert h.dump()["min"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("buffer.hits", "help text")
+        b = reg.counter("buffer.hits")
+        assert a is b
+        a.inc()
+        assert reg.get("buffer.hits").value == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(DuplicateMetricError, match="registered as a counter"):
+            reg.gauge("x")
+        with pytest.raises(DuplicateMetricError):
+            reg.histogram("x")
+
+    def test_register_duplicate_raises(self):
+        reg = MetricsRegistry()
+        reg.register(Counter("x"))
+        with pytest.raises(DuplicateMetricError, match="already registered"):
+            reg.register(Gauge("x"))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().get("nope")
+
+    def test_contains_len_iter_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+        assert [m.name for m in reg] == ["a", "b"]
+
+    def test_as_dict_flat_dump(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(4.0)
+        dump = reg.as_dict()
+        assert dump["c"] == 2
+        assert dump["g"] == 1.5
+        assert dump["h"]["count"] == 1
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(9)
+        reg.reset()
+        assert reg.get("c") is c
+        assert c.value == 0
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+            default_registry().counter("swapped").inc()
+            assert fresh.get("swapped").value == 1
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous
+
+    def test_components_register_against_default(self):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.iostats import IOStats
+        from repro.storage.page import DEFAULT_PAGE_SIZE
+        from repro.storage.table import HeapTable
+
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            stats = IOStats()
+            pool = BufferPool(stats, capacity_pages=4)
+            table = HeapTable("t", ["k", "m"], page_size=DEFAULT_PAGE_SIZE)
+            for i in range(10):
+                table.append((i, float(i)))
+            for _page in table.scan_pages(pool):
+                pass
+            for _page in table.scan_pages(pool):  # warm: all hits
+                pass
+            assert fresh.get("table.scans").value == 2
+            assert fresh.get("buffer.misses").value == table.n_pages
+            assert fresh.get("buffer.hits").value == table.n_pages
+        finally:
+            set_default_registry(previous)
