@@ -26,6 +26,13 @@ Quickstart::
     print(report.summary())
 """
 
+from .check import (
+    CorrectnessError,
+    PlanCoverageError,
+    PlanValidationError,
+    reference_answer,
+    validate_global_plan,
+)
 from .core import (
     ExecutionReport,
     GlobalPlan,
@@ -52,8 +59,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "CorrectnessError",
     "CostRates",
     "Database",
+    "PlanCoverageError",
+    "PlanValidationError",
+    "reference_answer",
+    "validate_global_plan",
     "DimPredicate",
     "Dimension",
     "ExecutionReport",

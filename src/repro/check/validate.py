@@ -1,0 +1,159 @@
+"""Structural validation of a global plan, before anything executes.
+
+A :class:`~repro.core.optimizer.plans.GlobalPlan` is structurally sound for
+a submitted query set when
+
+1. **coverage** — every submitted query appears in exactly one class (and
+   nothing else does);
+2. **ancestry** — each class's source table is a lattice ancestor of every
+   member query: its stored levels are fine enough for the query's target
+   group-by *and* its predicates, and its measure column is
+   aggregate-compatible (:func:`repro.schema.lattice.source_can_answer`);
+3. **method mix** — the class's per-plan join methods name an operator the
+   executor actually has (see :func:`expected_operator`), and every
+   index-method plan has a usable join index on its source;
+4. **no duplicate sources** — merging algorithms must not leave two classes
+   on one base table (the naive baseline is exempt, as in
+   :meth:`GlobalPlan.validate`).
+
+Violations raise :class:`~repro.check.errors.PlanValidationError` with a
+message naming the class, query, and rule broken.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+from ..core.optimizer.plans import GlobalPlan, JoinMethod, PlanClass
+from ..schema.lattice import source_can_answer
+from ..schema.query import GroupByQuery
+from ..schema.star import StarSchema
+from ..storage.catalog import Catalog, TableEntry
+from .errors import PlanValidationError
+
+#: Algorithms whose plans legitimately carry several classes on one source.
+UNMERGED_ALGORITHMS = frozenset({"naive"})
+
+
+def expected_operator(plan_class: PlanClass) -> str:
+    """The physical operator ``run_class`` lowers this class onto.
+
+    Mirrors the executor's dispatch exactly: pure-hash classes run the
+    shared scan, pure-index classes the (shared) index join, mixed classes
+    the hybrid — so validation and execution cannot drift apart silently.
+    """
+    if not plan_class.plans:
+        raise PlanValidationError(
+            f"class on {plan_class.source!r} is empty: no operator applies"
+        )
+    if plan_class.is_pure_hash:
+        return "shared_scan_hash"
+    if plan_class.is_pure_index:
+        return "index_star" if len(plan_class.plans) == 1 else "shared_index"
+    return "shared_hybrid"
+
+
+def _has_usable_index(
+    schema: StarSchema, entry: TableEntry, query: GroupByQuery
+) -> bool:
+    """True when at least one of the query's predicates can be evaluated
+    through a join index on ``entry`` (the same exact-or-finer-level rule
+    as :func:`repro.core.operators.index_join.usable_index`)."""
+    for pred in query.predicates:
+        stored = entry.levels[pred.dim_index]
+        for level in range(pred.level, stored - 1, -1):
+            if entry.index_for(pred.dim_index, level) is not None:
+                return True
+    return False
+
+
+def validate_class(
+    schema: StarSchema, catalog: Catalog, plan_class: PlanClass
+) -> None:
+    """Validate one class: source ancestry, aggregates, and method mix."""
+    operator = expected_operator(plan_class)  # also rejects empty classes
+    if plan_class.source not in catalog:
+        raise PlanValidationError(
+            f"class source {plan_class.source!r} is not a registered table"
+        )
+    entry = catalog.get(plan_class.source)
+    if len(entry.levels) != schema.n_dims:
+        raise PlanValidationError(
+            f"source {plan_class.source!r} stores {len(entry.levels)} "
+            f"dimension(s); the schema has {schema.n_dims}"
+        )
+    for plan in plan_class.plans:
+        query = plan.query
+        if not isinstance(plan.method, JoinMethod):
+            raise PlanValidationError(
+                f"{query.display_name()} carries an unknown join method "
+                f"{plan.method!r}"
+            )
+        if not source_can_answer(entry.levels, entry.source_aggregate, query):
+            raise PlanValidationError(
+                f"source {plan_class.source!r} (levels {entry.levels}, "
+                f"measure {entry.source_aggregate or 'raw'}) is not a "
+                f"lattice ancestor able to answer {query.display_name()} "
+                f"(required levels {query.required_levels()}, aggregate "
+                f"{query.aggregate.value})"
+            )
+        if plan.method is JoinMethod.INDEX and not _has_usable_index(
+            schema, entry, query
+        ):
+            raise PlanValidationError(
+                f"{query.display_name()} is planned as an index join on "
+                f"{plan_class.source!r}, but no join index covers any of "
+                f"its predicates (operator {operator!r} would fail)"
+            )
+
+
+def validate_global_plan(
+    schema: StarSchema,
+    catalog: Catalog,
+    plan: GlobalPlan,
+    queries: Optional[Sequence[GroupByQuery]] = None,
+    allow_duplicate_sources: Optional[bool] = None,
+) -> None:
+    """Validate ``plan`` structurally; raise :class:`PlanValidationError`.
+
+    ``queries`` is the submitted batch; when omitted, coverage is checked
+    for internal consistency only (no query planned twice).
+    ``allow_duplicate_sources`` defaults to whether the plan's algorithm is
+    a deliberately-unmerged baseline.
+    """
+    planned = Counter(q.qid for q in plan.queries)
+    duplicated = sorted(qid for qid, n in planned.items() if n > 1)
+    if duplicated:
+        raise PlanValidationError(
+            f"queries with qid(s) {duplicated} appear in more than one "
+            f"class; each query must be covered exactly once"
+        )
+    if queries is not None:
+        asked = {q.qid: q for q in queries}
+        missing = sorted(qid for qid in asked if qid not in planned)
+        extra = sorted(qid for qid in planned if qid not in asked)
+        if missing:
+            names = [asked[qid].display_name() for qid in missing]
+            raise PlanValidationError(
+                f"plan covers no class for submitted query(ies) "
+                f"{', '.join(names)} (qid(s) {missing})"
+            )
+        if extra:
+            raise PlanValidationError(
+                f"plan covers qid(s) {extra} that were never submitted"
+            )
+    if allow_duplicate_sources is None:
+        allow_duplicate_sources = plan.algorithm in UNMERGED_ALGORITHMS
+    if not allow_duplicate_sources:
+        sources = [cls.source for cls in plan.classes]
+        repeated = sorted(
+            source for source, n in Counter(sources).items() if n > 1
+        )
+        if repeated:
+            raise PlanValidationError(
+                f"two classes share base table(s) {repeated}; a merging "
+                f"algorithm should have combined them"
+            )
+    for plan_class in plan.classes:
+        validate_class(schema, catalog, plan_class)

@@ -91,6 +91,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--pivot", action="store_true",
         help="lay the results out on the MDX axes (grid per PAGES member)",
     )
+    run.add_argument(
+        "--paranoia", action="store_true",
+        help="differentially validate the plan and every result against "
+        "the brute-force reference evaluator (slow; fails loudly on any "
+        "divergence)",
+    )
 
     compare = sub.add_parser(
         "compare", help="Table 2: compare the optimization algorithms"
@@ -100,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tests",
         default=",".join(PAPER_TESTS),
         help="comma-separated subset of: " + ", ".join(PAPER_TESTS),
+    )
+    compare.add_argument(
+        "--paranoia", action="store_true",
+        help="differentially validate every algorithm's plan and results "
+        "against the brute-force reference evaluator (slow)",
     )
 
     figures = sub.add_parser(
@@ -166,6 +177,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         db = load_database(args.database)
     else:
         db = build_paper_database(scale=args.scale)
+    db.paranoia = args.paranoia
+    if args.paranoia:
+        print("paranoia: validating plans and cross-checking every result "
+              "against the reference evaluator")
     if args.pivot:
         from .mdx.pivot import evaluate_pivot
 
@@ -219,6 +234,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"{list(PAPER_TESTS)}", file=sys.stderr)
         return 2
     db = build_paper_database(scale=args.scale)
+    db.paranoia = args.paranoia
+    if args.paranoia:
+        print("paranoia: validating plans and cross-checking every result "
+              "against the reference evaluator")
     qs = paper_queries(db.schema)
     for test_name in names:
         ids = PAPER_TESTS[test_name]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
@@ -65,8 +65,23 @@ class ExecutionReport:
         return out
 
     def result_for(self, query: GroupByQuery) -> QueryResult:
-        """The result of one submitted query, by its qid."""
-        return self.results[query.qid]
+        """The result of one submitted query, by its qid.
+
+        Raises :class:`~repro.check.errors.PlanCoverageError` (a KeyError
+        subclass) naming the query when the plan never covered it — an
+        empty or degenerate plan must not fail with a bare ``KeyError``.
+        """
+        results = self.results
+        try:
+            return results[query.qid]
+        except KeyError:
+            from ..check.errors import PlanCoverageError
+
+            raise PlanCoverageError(
+                f"no result for {query.display_name()} (qid {query.qid}): "
+                f"the {self.plan.algorithm!r} plan placed it in no class "
+                f"(covered qids: {sorted(results) or 'none'})"
+            ) from None
 
     @property
     def sim_ms(self) -> float:
@@ -159,10 +174,45 @@ def run_class(ctx: ExecContext, plan_class: PlanClass) -> List[QueryResult]:
     return [by_qid[q.qid] for q in queries]
 
 
+def _validate_paranoid(db: "Database", plan: GlobalPlan, ctx: ExecContext) -> None:
+    """Paranoia pre-flight: structurally validate the plan before running.
+
+    A structural violation is as much a wrong answer as a bad result, so
+    it surfaces as :class:`~repro.check.errors.CorrectnessError` too.
+    """
+    from ..check.errors import CorrectnessError, PlanValidationError
+    from ..check.validate import validate_global_plan
+
+    with ctx.tracer.span(
+        "check.validate", algorithm=plan.algorithm, n_queries=plan.n_queries
+    ):
+        try:
+            validate_global_plan(db.schema, db.catalog, plan)
+        except PlanValidationError as exc:
+            raise CorrectnessError(
+                f"global plan failed structural validation: {exc}", plan=plan
+            ) from exc
+    default_registry().counter(
+        "check.plans_validated", "global plans structurally validated"
+    ).inc()
+
+
 def execute_plan(
-    db: "Database", plan: GlobalPlan, cold: bool = True
+    db: "Database",
+    plan: GlobalPlan,
+    cold: bool = True,
+    paranoia: Optional[bool] = None,
 ) -> ExecutionReport:
-    """Execute every class of ``plan``; measure each separately."""
+    """Execute every class of ``plan``; measure each separately.
+
+    ``paranoia`` (default: the database's :attr:`Database.paranoia` flag)
+    validates the plan before execution and cross-checks every class's
+    results against the brute-force reference evaluator.  Checking happens
+    *outside* the measured sections, so paranoia never perturbs a class's
+    reported simulated or wall cost.
+    """
+    if paranoia is None:
+        paranoia = bool(getattr(db, "paranoia", False))
     report = ExecutionReport(plan=plan)
     ctx = db.ctx()
     metrics = default_registry()
@@ -177,7 +227,10 @@ def execute_plan(
         algorithm=plan.algorithm,
         n_classes=len(plan.classes),
         n_queries=plan.n_queries,
+        paranoia=paranoia,
     ):
+        if paranoia:
+            _validate_paranoid(db, plan, ctx)
         for plan_class in plan.classes:
             if cold:
                 db.flush()
@@ -195,6 +248,16 @@ def execute_plan(
                 span.set("sim_ms", round(delta.total_ms, 3))
             classes_counter.inc()
             queries_counter.inc(len(plan_class.queries))
+            if paranoia:
+                from ..check.paranoia import check_results
+
+                with ctx.tracer.span(
+                    "check.class",
+                    source=plan_class.source,
+                    n_results=len(results),
+                ) as check_span:
+                    checked = check_results(db, results, plan=plan)
+                    check_span.set("n_checked", checked)
             report.class_executions.append(
                 ClassExecution(
                     plan_class=plan_class,

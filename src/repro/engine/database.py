@@ -45,12 +45,22 @@ class Database:
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_pages: int = DEFAULT_POOL_PAGES,
         rates: Optional[CostRates] = None,
+        paranoia: bool = False,
     ):
         self.schema = schema
         self.page_size = page_size
         self.stats = IOStats(rates=rates or DEFAULT_RATES)
         self.pool = BufferPool(self.stats, capacity_pages=buffer_pages)
         self.catalog = Catalog()
+        #: Differential-checking mode (see :mod:`repro.check`): validate
+        #: every plan before execution and cross-check every result against
+        #: the brute-force reference.  Slow; for tests and debugging.
+        self.paranoia = paranoia
+        #: Monotone mutation epoch: bumped by every path that changes query
+        #: answers (base loads, appends, incremental maintenance).  The
+        #: semantic result cache compares epochs to drop stale entries even
+        #: when a mutation bypassed its wrappers.
+        self.data_version = 0
         #: ANALYZE output per table (see :meth:`analyze`); empty means the
         #: cost model falls back to uniform selectivity estimates.
         self.table_statistics: dict = {}
@@ -81,7 +91,18 @@ class Database:
         columns.append(self.schema.measure)
         table = HeapTable(name, columns, page_size=self.page_size)
         table.extend(rows)
-        return self.catalog.register(table, base_levels)
+        entry = self.catalog.register(table, base_levels)
+        self.notify_mutation()
+        return entry
+
+    def notify_mutation(self) -> None:
+        """Record that query answers may have changed (new or appended fact
+        data).  Every mutation entry point — :meth:`load_base`,
+        :meth:`append_rows`, and direct calls into
+        :func:`repro.engine.maintenance.append_rows` — funnels through
+        here, so caches keyed on :attr:`data_version` can never serve
+        results computed before a mutation."""
+        self.data_version += 1
 
     def materialize(
         self,
@@ -312,12 +333,18 @@ class Database:
         ).inc(optimizer.model.n_plan_costings)
         return plan
 
-    def execute(self, plan: "GlobalPlan", cold: bool = True) -> "ExecutionReport":
+    def execute(
+        self,
+        plan: "GlobalPlan",
+        cold: bool = True,
+        paranoia: Optional[bool] = None,
+    ) -> "ExecutionReport":
         """Execute a global plan; ``cold`` flushes the pool per class, as the
-        paper flushed buffers before each measured run."""
+        paper flushed buffers before each measured run.  ``paranoia``
+        overrides the database's :attr:`paranoia` flag for this run."""
         from ..core.executor import execute_plan
 
-        return execute_plan(self, plan, cold=cold)
+        return execute_plan(self, plan, cold=cold, paranoia=paranoia)
 
     def run_queries(
         self,
@@ -325,8 +352,26 @@ class Database:
         algorithm: str = "gg",
         cold: bool = True,
     ) -> "ExecutionReport":
-        """Optimize + execute in one call."""
-        return self.execute(self.optimize(queries, algorithm), cold=cold)
+        """Optimize + execute in one call.
+
+        Under :attr:`paranoia` the plan is additionally validated against
+        the *submitted* batch (the executor alone only sees the plan, so
+        an optimizer silently dropping a query is caught here).
+        """
+        plan = self.optimize(queries, algorithm)
+        if self.paranoia:
+            from ..check.errors import CorrectnessError, PlanValidationError
+            from ..check.validate import validate_global_plan
+
+            try:
+                validate_global_plan(self.schema, self.catalog, plan, queries)
+            except PlanValidationError as exc:
+                raise CorrectnessError(
+                    f"{algorithm!r} produced a structurally invalid plan "
+                    f"for the submitted batch: {exc}",
+                    plan=plan,
+                ) from exc
+        return self.execute(plan, cold=cold)
 
     def run_mdx(
         self, text: str, algorithm: str = "gg", cold: bool = True

@@ -3,20 +3,33 @@
 Dashboards re-ask the same dimensional queries; a warehouse front end caches
 results keyed by the query's *semantics* (target group-by + predicates +
 aggregate — the same identity the session deduplicator uses), not its object
-identity.  The cache is invalidated wholesale by base-table appends, since
-any group's value may have changed.
+identity.
+
+Coherence is epoch-based: every mutation path that can change query answers
+bumps :attr:`Database.data_version` (base loads, ``append_rows``, and direct
+calls into :mod:`repro.engine.maintenance`), and the cache compares epochs
+on every access — so a mutation that bypasses the wrapped ``append_rows``
+still invalidates, and a stale answer is never served.  Entries are
+deep-copied on both insert and serve: a caller mutating a returned result
+cannot corrupt the cache, nor the reverse.
 
 Usage::
 
     cache = attach_cache(db)
     db.run_queries([q], "gg")   # miss: executes, caches
     db.run_queries([q], "gg")   # hit: served from cache, no execution
-    db.append_rows(rows)        # invalidates
+    db.append_rows(rows)        # invalidates (epoch bump)
+
+Under :attr:`Database.paranoia`, a sample of every batch's served hits is
+recomputed from scratch by the reference evaluator — a stale or corrupted
+entry raises :class:`~repro.check.errors.CorrectnessError` instead of
+silently answering wrong.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.operators.results import QueryResult
@@ -47,27 +60,46 @@ class ResultCache:
         self.max_entries = max_entries
         self._entries: Dict[QueryKey, Dict] = {}
         self.stats = CacheStats()
+        #: The mutation epoch the entries were computed at (None until the
+        #: first sync).  See :meth:`sync`.
+        self._data_version: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def sync(self, data_version: int) -> None:
+        """Reconcile with the database's mutation epoch: entries computed
+        at an older epoch are dropped wholesale.  Called on every access
+        path, so even mutations that bypassed the cache's wrappers (e.g. a
+        direct :func:`repro.engine.maintenance.append_rows` call) cannot
+        leave stale answers behind."""
+        if self._data_version != data_version:
+            if self._data_version is not None:
+                self.invalidate()
+            self._data_version = data_version
+
     def get(self, query: GroupByQuery) -> Optional[QueryResult]:
-        """Look an entry up (None/raise per class contract)."""
+        """Look an entry up (None/raise per class contract).
+
+        The returned result owns a deep copy of the cached groups; mutating
+        it cannot corrupt the cache.
+        """
         groups = self._entries.get(query_key(query))
         if groups is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return QueryResult(query=query, groups=dict(groups))
+        return QueryResult(query=query, groups=copy.deepcopy(groups))
 
     def put(self, result: QueryResult) -> None:
-        """Insert or replace the entry."""
+        """Insert or replace the entry (deep-copied: later mutation of the
+        caller's result cannot reach the cached groups)."""
         key = query_key(result.query)
         if key not in self._entries and len(self._entries) >= self.max_entries:
             # FIFO eviction: drop the oldest entry.
             oldest = next(iter(self._entries))
             del self._entries[oldest]
-        self._entries[key] = dict(result.groups)
+        self._entries[key] = copy.deepcopy(dict(result.groups))
 
     def invalidate(self) -> None:
         """Drop every cached entry."""
@@ -82,9 +114,11 @@ def attach_cache(db, max_entries: int = 256) -> ResultCache:
     * cached queries are answered without planning or execution;
     * only the cache misses are optimized (still as one multi-query unit)
       and their results cached;
-    * ``db.append_rows`` invalidates the cache.
+    * any mutation epoch change (``db.append_rows``, direct maintenance,
+      a new base load) invalidates the cache.
     """
     cache = ResultCache(max_entries=max_entries)
+    cache.sync(db.data_version)
     original_run = db.run_queries
     original_append = db.append_rows
 
@@ -92,6 +126,7 @@ def attach_cache(db, max_entries: int = 256) -> ResultCache:
         queries: Sequence[GroupByQuery], algorithm: str = "gg", cold: bool = True
     ):
         """Wrapped Database.run_queries serving hits from the cache."""
+        cache.sync(db.data_version)
         hits: Dict[int, QueryResult] = {}
         misses: List[GroupByQuery] = []
         for query in queries:
@@ -106,17 +141,24 @@ def attach_cache(db, max_entries: int = 256) -> ResultCache:
                 cache.put(result)
         else:
             # Nothing to execute: synthesize an empty report around an
-            # empty plan so callers keep a uniform interface.
+            # empty plan so callers keep a uniform interface.  The wrapper
+            # below still reports the *real* batch size and hit count.
             from ..core.executor import ExecutionReport
             from ..core.optimizer.plans import GlobalPlan
 
             report = ExecutionReport(plan=GlobalPlan(algorithm=algorithm))
-        return _CachedReport(report, hits)
+        if hits and getattr(db, "paranoia", False):
+            from ..check.paranoia import recheck_cache_hits
+
+            with db.tracer.span("check.cache", n_hits=len(hits)) as span:
+                span.set("n_rechecked", recheck_cache_hits(db, hits))
+        return _CachedReport(report, hits, queries)
 
     def invalidating_append(rows):
-        """Wrapped Database.append_rows that drops the cache afterwards."""
+        """Wrapped Database.append_rows that reconciles the cache with the
+        bumped mutation epoch (i.e. drops it) afterwards."""
         outcome = original_append(rows)
-        cache.invalidate()
+        cache.sync(db.data_version)
         return outcome
 
     db.run_queries = caching_run
@@ -127,11 +169,18 @@ def attach_cache(db, max_entries: int = 256) -> ResultCache:
 
 class _CachedReport:
     """An ExecutionReport wrapper that overlays cache hits onto the
-    executed results (everything else delegates)."""
+    executed results and reports the *submitted* batch — not just the
+    executed remainder (everything else delegates)."""
 
-    def __init__(self, report, hits: Dict[int, QueryResult]):
+    def __init__(
+        self,
+        report,
+        hits: Dict[int, QueryResult],
+        queries: Sequence[GroupByQuery],
+    ):
         self._report = report
         self._hits = hits
+        self._queries = list(queries)
 
     @property
     def results(self) -> Dict[int, QueryResult]:
@@ -140,16 +189,48 @@ class _CachedReport:
         merged.update(self._hits)
         return merged
 
-    def result_for(self, query: GroupByQuery) -> QueryResult:
-        """The result of one submitted query, by its qid."""
-        if query.qid in self._hits:
-            return self._hits[query.qid]
-        return self._report.result_for(query)
+    @property
+    def n_queries(self) -> int:
+        """Number of *submitted* queries (hits included), unlike the
+        underlying plan's count, which covers only the executed misses."""
+        return len(self._queries)
 
     @property
     def n_cache_hits(self) -> int:
         """How many of this batch's queries came from the cache."""
         return len(self._hits)
+
+    def result_for(self, query: GroupByQuery) -> QueryResult:
+        """The result of one submitted query, by its qid."""
+        if query.qid in self._hits:
+            return self._hits[query.qid]
+        results = self._report.results
+        if query.qid in results:
+            return results[query.qid]
+        from ..check.errors import PlanCoverageError
+
+        submitted = any(q.qid == query.qid for q in self._queries)
+        detail = (
+            "the executed plan placed it in no class"
+            if submitted
+            else "it was not part of this batch"
+        )
+        raise PlanCoverageError(
+            f"no result for {query.display_name()} (qid {query.qid}): "
+            f"{detail} (batch qids: {sorted(q.qid for q in self._queries)})"
+        )
+
+    def summary(self) -> str:
+        """One-line summary reflecting the full batch, hits included."""
+        inner = self._report
+        return (
+            f"{inner.plan.algorithm}: {self.n_queries} queries "
+            f"({self.n_cache_hits} from cache, {inner.plan.n_queries} "
+            f"executed), {len(inner.class_executions)} class(es), "
+            f"sim {inner.sim_ms:.1f} ms "
+            f"(io {inner.sim_io_ms:.1f} + cpu {inner.sim_cpu_ms:.1f}), "
+            f"wall {inner.wall_s * 1000:.1f} ms"
+        )
 
     def __getattr__(self, name):
         return getattr(self._report, name)

@@ -1,0 +1,94 @@
+"""Property-based differential testing: for randomly generated schemas and
+workloads, all four optimization algorithms and the check-package reference
+evaluator agree group-for-group.  This is the tentpole's contract stated as
+a property — sharing changes cost, never answers."""
+
+import random
+
+import pytest
+
+from repro.check import first_divergence, reference_answer
+from repro.engine.database import Database
+from repro.schema.dimension import Dimension
+from repro.schema.star import StarSchema
+from repro.workload.generator import generate_fact_rows
+
+from helpers import random_query
+
+ALGORITHMS = ("naive", "tplo", "etplg", "gg")
+
+
+def random_database(seed: int) -> Database:
+    """A random star schema (2–3 dims, random fanouts), random fact data
+    seeded through repro.workload.generator, random views and indexes."""
+    rng = random.Random(seed)
+    dimensions = []
+    for d in range(rng.randint(2, 3)):
+        name = "DEF"[d]
+        dimensions.append(
+            Dimension.build_uniform(
+                name,
+                (name, name + "'", name + "''"),
+                n_top=rng.randint(2, 3),
+                fanouts=(rng.randint(2, 3), rng.randint(2, 4)),
+            )
+        )
+    schema = StarSchema(f"rand-{seed}", dimensions, measure="m")
+    db = Database(schema, page_size=64, buffer_pages=256, paranoia=False)
+    rows = generate_fact_rows(schema, rng.randint(150, 400), seed=seed)
+    base_name = "".join(dim.name for dim in schema.dimensions)
+    db.load_base(rows, name=base_name)
+    # Materialize a random non-base lattice point or two (SUM views).
+    for _ in range(rng.randint(0, 2)):
+        levels = tuple(
+            rng.randint(0, dim.all_level) for dim in schema.dimensions
+        )
+        if all(lv == 0 for lv in levels):
+            continue
+        name = schema.groupby_name(levels)
+        if name in db.catalog:
+            continue
+        db.materialize(levels)
+    db.index_all_dimensions(base_name)
+    return db
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_all_algorithms_agree_with_reference(seed):
+    db = random_database(seed)
+    rng = random.Random(1000 + seed)
+    batch = [random_query(db.schema, rng, label=f"W{i}") for i in range(5)]
+    truth = {q.qid: reference_answer(db, q) for q in batch}
+    for algorithm in ALGORITHMS:
+        report = db.run_queries(batch, algorithm)
+        for query in batch:
+            result = report.result_for(query)
+            divergence = first_divergence(
+                truth[query.qid].groups, result.groups
+            )
+            assert divergence is None, (
+                f"seed {seed}, {algorithm}, {query.display_name()}: "
+                f"{divergence.describe()}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_agreement_survives_maintenance(seed):
+    """Appending rows (incremental view/index maintenance) must preserve
+    the agreement — views, indexes, and the reference see the same data."""
+    db = random_database(100 + seed)
+    rng = random.Random(2000 + seed)
+    batch = [random_query(db.schema, rng, label=f"M{i}") for i in range(3)]
+    extra = generate_fact_rows(db.schema, 60, seed=3000 + seed)
+    db.append_rows(extra)
+    for algorithm in ALGORITHMS:
+        report = db.run_queries(batch, algorithm)
+        for query in batch:
+            divergence = first_divergence(
+                reference_answer(db, query).groups,
+                report.result_for(query).groups,
+            )
+            assert divergence is None, (
+                f"seed {seed}, {algorithm}, {query.display_name()}: "
+                f"{divergence.describe()}"
+            )

@@ -1,0 +1,163 @@
+"""Regression tests for the result-cache coherence and reporting fixes:
+
+* mutations that bypass the wrapped ``Database.append_rows`` (direct
+  maintenance calls) must still invalidate — epoch-based coherence;
+* served and stored results must not alias cache internals;
+* an all-hits batch must report the real batch size and hit count;
+* a query outside the plan must fail with a descriptive coverage error.
+"""
+
+import pytest
+
+from repro.check import PlanCoverageError
+from repro.engine import maintenance
+from repro.engine.result_cache import attach_cache
+from repro.schema.query import GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+def fresh_db():
+    return make_tiny_db(n_rows=200, materialized=("X'Y",), index_tables=("XY",))
+
+
+@pytest.fixture()
+def db():
+    return fresh_db()
+
+
+def q(levels, label):
+    return GroupByQuery(groupby=GroupBy(levels), label=label)
+
+
+class TestEpochCoherence:
+    def test_direct_maintenance_append_invalidates(self, db):
+        """The original hole: maintenance mutates every view, but only the
+        wrapped ``db.append_rows`` used to invalidate."""
+        cache = attach_cache(db)
+        query = q((1, 1), "maint")
+        before = db.run_queries([query], "gg").result_for(query)
+        # Mutate via the maintenance module directly, bypassing the wrapper.
+        maintenance.append_rows(db, [(0, 0, 1000.0), (1, 2, 500.0)])
+        after = db.run_queries([query], "gg").result_for(query)
+        assert after.total() == pytest.approx(before.total() + 1500.0)
+        assert cache.stats.invalidations >= 1
+
+    def test_wrapped_append_still_invalidates(self, db):
+        cache = attach_cache(db)
+        query = q((1, 1), "append")
+        before = db.run_queries([query], "gg").result_for(query)
+        db.append_rows([(2, 3, 250.0)])
+        assert len(cache) == 0
+        after = db.run_queries([query], "gg").result_for(query)
+        assert after.total() == pytest.approx(before.total() + 250.0)
+
+    def test_unrelated_reruns_still_hit(self, db):
+        cache = attach_cache(db)
+        query = q((1, 1), "hot")
+        db.run_queries([query], "gg")
+        db.run_queries([query], "gg")
+        assert cache.stats.hits == 1
+        assert cache.stats.invalidations == 0
+
+    def test_data_version_bumps(self, db):
+        v0 = db.data_version
+        db.append_rows([(0, 0, 1.0)])
+        assert db.data_version == v0 + 1
+        maintenance.append_rows(db, [(0, 1, 2.0)])
+        assert db.data_version == v0 + 2
+
+
+class TestAliasingFixed:
+    def test_mutating_served_result_does_not_corrupt_cache(self, db):
+        cache = attach_cache(db)
+        query = q((1, 1), "alias-get")
+        first = db.run_queries([query], "gg").result_for(query)
+        key = sorted(first.groups)[0]
+        clean = first.groups[key]
+        first.groups[key] += 999.0  # caller scribbles on its copy
+        second = db.run_queries([query], "gg").result_for(query)
+        assert second.groups[key] == pytest.approx(clean)
+        assert cache.stats.hits == 1
+
+    def test_mutating_inserted_result_does_not_corrupt_cache(self, db):
+        attach_cache(db)
+        query = q((1, 1), "alias-put")
+        report = db.run_queries([query], "gg")
+        result = report.result_for(query)
+        key = sorted(result.groups)[0]
+        clean = result.groups[key]
+        result.groups[key] -= 123.0  # scribble after the cache stored it
+        served = db.run_queries([query], "gg").result_for(query)
+        assert served.groups[key] == pytest.approx(clean)
+
+    def test_two_served_copies_are_independent(self, db):
+        attach_cache(db)
+        query = q((1, 1), "alias-two")
+        db.run_queries([query], "gg")
+        a = db.run_queries([query], "gg").result_for(query)
+        b = db.run_queries([query], "gg").result_for(query)
+        assert a.groups is not b.groups
+        key = sorted(a.groups)[0]
+        a.groups[key] = -1.0
+        assert b.groups[key] != -1.0
+
+
+class TestAllHitsReport:
+    def test_reflects_real_batch(self, db):
+        attach_cache(db)
+        batch = [q((1, 1), "h1"), q((2, 1), "h2"), q((1, 2), "h3")]
+        db.run_queries(batch, "gg")
+        report = db.run_queries(batch, "gg")  # every query hits
+        assert report.n_cache_hits == 3
+        assert report.n_queries == 3  # used to report the empty plan's 0
+        assert len(report.results) == 3
+        summary = report.summary()
+        assert "3 queries" in summary
+        assert "3 from cache" in summary
+        for query in batch:
+            assert report.result_for(query).n_groups > 0
+
+    def test_partial_hits_summary(self, db):
+        attach_cache(db)
+        warm = q((1, 1), "warm")
+        db.run_queries([warm], "gg")
+        cold = q((2, 2), "cold")
+        report = db.run_queries([warm, cold], "gg")
+        assert report.n_queries == 2
+        assert report.n_cache_hits == 1
+        assert "2 queries" in report.summary()
+        assert "1 from cache" in report.summary()
+
+    def test_unknown_query_raises_descriptive_error(self, db):
+        attach_cache(db)
+        batch = [q((1, 1), "known")]
+        db.run_queries(batch, "gg")
+        report = db.run_queries(batch, "gg")
+        stranger = q((2, 2), "stranger")
+        with pytest.raises(PlanCoverageError, match="stranger"):
+            report.result_for(stranger)
+        with pytest.raises(KeyError):  # still a KeyError for old callers
+            report.result_for(stranger)
+
+
+class TestExecutionReportCoverage:
+    def test_result_for_names_missing_query(self, db):
+        batch = [q((1, 1), "planned")]
+        report = db.run_queries(batch, "gg")
+        stranger = q((2, 2), "ghost")
+        with pytest.raises(PlanCoverageError) as exc_info:
+            report.result_for(stranger)
+        message = str(exc_info.value)
+        assert "ghost" in message
+        assert str(stranger.qid) in message
+        assert isinstance(exc_info.value, KeyError)
+
+    def test_empty_plan_report(self, db):
+        """A degenerate/empty plan must not fail with a bare KeyError."""
+        from repro.core.executor import ExecutionReport
+        from repro.core.optimizer.plans import GlobalPlan
+
+        report = ExecutionReport(plan=GlobalPlan(algorithm="gg"))
+        with pytest.raises(PlanCoverageError, match="no class"):
+            report.result_for(q((1, 1), "empty"))
