@@ -13,13 +13,31 @@ from .harness import (
     run_test3_hybrid,
     table1_rows,
 )
+from .history import (
+    DEFAULT_THRESHOLDS,
+    Regression,
+    RegressionReport,
+    RunRecord,
+    compare_records,
+    database_fingerprint,
+    default_record_path,
+    record_run,
+)
 from .reporting import format_series, format_table
 
 __all__ = [
     "AlgorithmRow",
     "DEFAULT_ALGORITHMS",
+    "DEFAULT_THRESHOLDS",
     "ForcedRun",
+    "Regression",
+    "RegressionReport",
+    "RunRecord",
     "SharingRow",
+    "compare_records",
+    "database_fingerprint",
+    "default_record_path",
+    "record_run",
     "format_series",
     "format_table",
     "run_algorithm_comparison",

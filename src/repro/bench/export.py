@@ -14,13 +14,27 @@ from pathlib import Path
 from typing import Iterable, List, Sequence
 
 
+def _is_scalar(value) -> bool:
+    return isinstance(value, (int, float, str, bool)) or value is None
+
+
 def _flatten(row) -> dict:
     if dataclasses.is_dataclass(row) and not isinstance(row, type):
         out = {}
         for field in dataclasses.fields(row):
             value = getattr(row, field.name)
-            if isinstance(value, (int, float, str, bool)) or value is None:
+            if _is_scalar(value):
                 out[field.name] = value
+            elif dataclasses.is_dataclass(value) and not isinstance(
+                value, type
+            ):
+                # One level of nesting: scalar fields of a nested dataclass
+                # (e.g. a ClassExecution's IOStats) become dotted columns
+                # like ``sim.io_ms``; deeper nesting is dropped.
+                for inner in dataclasses.fields(value):
+                    inner_value = getattr(value, inner.name)
+                    if _is_scalar(inner_value):
+                        out[f"{field.name}.{inner.name}"] = inner_value
         return out
     if isinstance(row, dict):
         return dict(row)
@@ -30,15 +44,25 @@ def _flatten(row) -> dict:
 
 
 def write_csv(
-    rows: Sequence, path: str | Path, extra: dict | None = None
+    rows: Sequence,
+    path: str | Path,
+    extra: dict | None = None,
+    fieldnames: Sequence[str] | None = None,
 ) -> Path:
     """Write ``rows`` (dataclasses, dicts, or tuples) to ``path`` as CSV.
 
-    ``extra`` adds constant columns (e.g. the bench scale) to every row.
+    Nested dataclass fields are flattened one level into dotted columns
+    (``sim.io_ms``); deeper nesting is dropped.  ``extra`` adds constant
+    columns (e.g. the bench scale) to every row.  With no rows the call
+    raises :class:`ValueError` — unless ``fieldnames`` is given, in which
+    case a header-only CSV is written (useful for appending later).
     """
     rows = list(rows)
-    if not rows:
-        raise ValueError("nothing to export")
+    if not rows and fieldnames is None:
+        raise ValueError(
+            "nothing to export: rows is empty; pass fieldnames=[...] to "
+            "write a header-only CSV instead"
+        )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     flattened: List[dict] = []
@@ -47,9 +71,10 @@ def write_csv(
         if extra:
             record.update(extra)
         flattened.append(record)
-    fieldnames = list(flattened[0])
+    if fieldnames is None:
+        fieldnames = list(flattened[0])
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer = csv.DictWriter(handle, fieldnames=list(fieldnames))
         writer.writeheader()
         for record in flattened:
             writer.writerow(record)

@@ -1,0 +1,370 @@
+"""Persistent benchmark telemetry: structured run records and regression
+gating.
+
+A :class:`RunRecord` captures one benchmark run of the paper workload —
+per-figure sharing rows, per-test algorithm comparisons (Table 2), the
+cost-model calibration summary (Q-error quantiles and misranking count from
+:mod:`repro.obs.analyze`), and a schema+config fingerprint — and persists
+it as ``BENCH_<label>.json``.  Simulated costs are deterministic, so two
+records with the same fingerprint are byte-comparable: any drift is a real
+behavioural change, not noise.
+
+:func:`compare_records` is the regression gate: it walks the shared
+metrics of two records and flags every one that moved past its per-metric
+threshold (:data:`DEFAULT_THRESHOLDS`).  Wall-clock fields are recorded
+for context but never gated — only the deterministic cost clock and the
+calibration summary gate.
+
+CLI: ``repro bench --record`` / ``repro bench --compare --baseline FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from ..obs.analyze import CALIBRATION_ALGORITHMS, run_calibration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.database import Database
+
+PathLike = Union[str, Path]
+
+#: Format version of the persisted record; bump on breaking layout change.
+RECORD_VERSION = 1
+
+#: Per-metric regression thresholds.  Relative metrics are the allowed
+#: fractional worsening (0.10 = latest may be up to 10% worse); absolute
+#: metrics (``misrankings``, ``n_classes``) allow no increase at all.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "sim_ms": 0.10,
+    "est_ms": 0.10,
+    "shared_ms": 0.10,
+    "separate_ms": 0.10,
+    "q_error_p95": 0.25,
+    "q_error_max": 0.50,
+    "misrankings": 0.0,
+    "n_classes": 0.0,
+}
+
+
+def database_fingerprint(db: "Database", scale: Optional[float] = None) -> dict:
+    """Schema + configuration identity of a run: two records gate against
+    each other only when their fingerprints match (same dimensions, same
+    tables, same cost rates — otherwise cost deltas are meaningless)."""
+    from dataclasses import asdict
+
+    schema = db.schema
+    return {
+        "schema": schema.name,
+        "dimensions": [
+            {
+                "name": dim.name,
+                "levels": [level.name for level in dim.levels],
+                "members": [dim.n_members(lv) for lv in range(dim.n_levels)],
+            }
+            for dim in schema.dimensions
+        ],
+        "tables": {
+            entry.name: {"rows": entry.n_rows, "pages": entry.n_pages}
+            for entry in db.catalog.entries()
+        },
+        "rates": asdict(db.stats.rates),
+        "page_size": db.page_size,
+        "scale": scale,
+    }
+
+
+@dataclass
+class RunRecord:
+    """One persisted benchmark run."""
+
+    label: str
+    created_at: str
+    fingerprint: dict
+    #: figure name -> list of sharing-row dicts (Figures 10–12).
+    figures: Dict[str, List[dict]] = field(default_factory=dict)
+    #: test name -> list of per-algorithm dicts (Table 2).
+    tests: Dict[str, List[dict]] = field(default_factory=dict)
+    #: Calibration summary (see CalibrationReport.summary()).
+    calibration: dict = field(default_factory=dict)
+    version: int = RECORD_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "label": self.label,
+            "created_at": self.created_at,
+            "fingerprint": self.fingerprint,
+            "figures": self.figures,
+            "tests": self.tests,
+            "calibration": self.calibration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        version = data.get("version", 0)
+        if version > RECORD_VERSION:
+            raise ValueError(
+                f"record version {version} is newer than supported "
+                f"({RECORD_VERSION}); refusing to mis-compare"
+            )
+        return cls(
+            label=data.get("label", "?"),
+            created_at=data.get("created_at", ""),
+            fingerprint=data.get("fingerprint", {}),
+            figures=data.get("figures", {}),
+            tests=data.get("tests", {}),
+            calibration=data.get("calibration", {}),
+            version=version,
+        )
+
+    def save(self, path: PathLike) -> Path:
+        """Write the record as indented JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunRecord":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def default_record_path(label: str, directory: Optional[PathLike] = None) -> Path:
+    """``BENCH_<label>.json`` in ``directory`` (default: current dir — the
+    repo root when invoked from a checkout)."""
+    base = Path(directory) if directory is not None else Path.cwd()
+    return base / f"BENCH_{label}.json"
+
+
+def record_run(
+    db: Optional["Database"] = None,
+    label: str = "paper",
+    scale: float = 0.01,
+    tests: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = CALIBRATION_ALGORITHMS,
+    figures: bool = True,
+) -> RunRecord:
+    """Run the paper workload and build its telemetry record.
+
+    ``db`` defaults to a freshly built paper database at ``scale``.
+    ``tests`` restricts the calibration/Table-2 sweep (see
+    :data:`repro.obs.analyze.CALIBRATION_TESTS`); ``figures=False`` skips
+    the Figures 10–12 sharing sweeps (the slow part at larger scales).
+    """
+    from ..workload.paper_queries import paper_queries
+    from .harness import (
+        run_test1_shared_scan,
+        run_test2_shared_index,
+        run_test3_hybrid,
+    )
+
+    if db is None:
+        from ..workload.paper_schema import build_paper_database
+
+        db = build_paper_database(scale=scale)
+    record = RunRecord(
+        label=label,
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        fingerprint=database_fingerprint(db, scale=scale),
+    )
+    queries = paper_queries(db.schema)
+    if figures:
+        sweeps = {
+            "fig10_shared_scan": run_test1_shared_scan(
+                db, [queries[i] for i in (1, 2, 3, 4)]
+            ),
+            "fig11_shared_index": run_test2_shared_index(
+                db, [queries[i] for i in (5, 8, 6, 7)]
+            ),
+            "fig12_hybrid": run_test3_hybrid(
+                db, [queries[3]], [queries[5], queries[6], queries[7]]
+            ),
+        }
+        for name, rows in sweeps.items():
+            record.figures[name] = [
+                {
+                    "n_queries": row.n_queries,
+                    "separate_ms": round(row.separate_ms, 3),
+                    "shared_ms": round(row.shared_ms, 3),
+                    "speedup": round(row.speedup, 4),
+                    "separate_wall_s": round(row.separate_wall_s, 6),
+                    "shared_wall_s": round(row.shared_wall_s, 6),
+                }
+                for row in rows
+            ]
+    calibration = run_calibration(db, tests=tests, algorithms=algorithms)
+    record.calibration = calibration.summary()
+    for outcome in calibration.plans:
+        record.tests.setdefault(outcome.test, []).append(
+            {
+                "algorithm": outcome.algorithm,
+                "est_ms": round(outcome.est_ms, 3),
+                "sim_ms": round(outcome.actual_ms, 3),
+                "n_classes": outcome.plan.count(";") + 1 if outcome.plan else 0,
+                "plan": outcome.plan,
+            }
+        )
+    return record
+
+
+@dataclass
+class Regression:
+    """One gated metric that worsened past its threshold."""
+
+    metric: str
+    context: str
+    baseline: float
+    latest: float
+    threshold: float
+
+    @property
+    def change(self) -> float:
+        """Fractional change (positive = worse) for relative metrics; raw
+        delta for absolute ones (threshold 0)."""
+        if self.threshold == 0.0 or self.baseline == 0.0:
+            return self.latest - self.baseline
+        return self.latest / self.baseline - 1.0
+
+    def describe(self) -> str:
+        if self.threshold == 0.0 or self.baseline == 0.0:
+            return (
+                f"{self.context}: {self.metric} {self.baseline:g} -> "
+                f"{self.latest:g} (any increase gates)"
+            )
+        return (
+            f"{self.context}: {self.metric} {self.baseline:g} -> "
+            f"{self.latest:g} ({self.change * 100:+.1f}%, allowed "
+            f"+{self.threshold * 100:.0f}%)"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a run record against a baseline."""
+
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[Regression] = field(default_factory=list)
+    n_compared: int = 0
+    fingerprint_mismatch: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.fingerprint_mismatch is None and not self.regressions
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.fingerprint_mismatch is not None:
+            lines.append(
+                f"INCOMPARABLE: {self.fingerprint_mismatch}"
+            )
+        lines.append(
+            f"compared {self.n_compared} metric(s): "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        )
+        for reg in self.regressions:
+            lines.append(f"  REGRESSION {reg.describe()}")
+        for imp in self.improvements:
+            lines.append(f"  improved   {imp.describe()}")
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def _gate(
+    report: RegressionReport,
+    thresholds: Dict[str, float],
+    metric: str,
+    context: str,
+    baseline: Optional[float],
+    latest: Optional[float],
+) -> None:
+    """Compare one metric pair; higher is always worse for gated metrics."""
+    if baseline is None or latest is None:
+        return
+    threshold = thresholds.get(metric)
+    if threshold is None:
+        return
+    report.n_compared += 1
+    entry = Regression(
+        metric=metric,
+        context=context,
+        baseline=float(baseline),
+        latest=float(latest),
+        threshold=threshold,
+    )
+    if threshold == 0.0 or baseline == 0.0:
+        if latest > baseline:
+            report.regressions.append(entry)
+        elif latest < baseline:
+            report.improvements.append(entry)
+        return
+    if latest > baseline * (1.0 + threshold):
+        report.regressions.append(entry)
+    elif latest < baseline * (1.0 - threshold):
+        report.improvements.append(entry)
+
+
+def compare_records(
+    latest: RunRecord,
+    baseline: RunRecord,
+    thresholds: Optional[Dict[str, float]] = None,
+) -> RegressionReport:
+    """Gate ``latest`` against ``baseline`` with per-metric thresholds.
+
+    Only metrics present in *both* records are compared (a baseline from a
+    narrower sweep gates what it has).  Mismatched fingerprints make the
+    comparison fail outright: cost deltas between different schemas,
+    scales, or rates are not regressions, they are different experiments.
+    """
+    thresholds = dict(DEFAULT_THRESHOLDS, **(thresholds or {}))
+    report = RegressionReport()
+    if latest.fingerprint != baseline.fingerprint:
+        differing = sorted(
+            key
+            for key in set(latest.fingerprint) | set(baseline.fingerprint)
+            if latest.fingerprint.get(key) != baseline.fingerprint.get(key)
+        )
+        report.fingerprint_mismatch = (
+            f"fingerprints differ on {differing}; re-record the baseline at "
+            f"the same schema/scale/rates before gating"
+        )
+        return report
+    for test, latest_rows in sorted(latest.tests.items()):
+        baseline_rows = {
+            row["algorithm"]: row for row in baseline.tests.get(test, [])
+        }
+        for row in latest_rows:
+            base = baseline_rows.get(row["algorithm"])
+            if base is None:
+                continue
+            context = f"{test}/{row['algorithm']}"
+            for metric in ("sim_ms", "est_ms", "n_classes"):
+                _gate(
+                    report, thresholds, metric, context,
+                    base.get(metric), row.get(metric),
+                )
+    for figure, latest_rows in sorted(latest.figures.items()):
+        baseline_rows = {
+            row["n_queries"]: row for row in baseline.figures.get(figure, [])
+        }
+        for row in latest_rows:
+            base = baseline_rows.get(row["n_queries"])
+            if base is None:
+                continue
+            context = f"{figure}/k={row['n_queries']}"
+            for metric in ("shared_ms", "separate_ms"):
+                _gate(
+                    report, thresholds, metric, context,
+                    base.get(metric), row.get(metric),
+                )
+    for metric in ("q_error_p95", "q_error_max", "misrankings"):
+        _gate(
+            report, thresholds, metric, "calibration",
+            baseline.calibration.get(metric),
+            latest.calibration.get(metric),
+        )
+    return report

@@ -118,6 +118,76 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_scale(figures)
 
+    explain = sub.add_parser(
+        "explain",
+        help="show the chosen plan for an MDX expression "
+        "(--analyze also executes it and renders est-vs-actual per class)",
+    )
+    _add_scale(explain)
+    explain.add_argument("mdx", nargs="?", help="MDX text (or use --file)")
+    explain.add_argument("--file", help="read the MDX expression from a file")
+    explain.add_argument(
+        "--algorithm", default="gg", choices=ALGORITHMS,
+        help="optimizer (default gg)",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the plan and annotate every class and component query "
+        "with estimated vs measured cost (EXPLAIN ANALYZE)",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="cost-model calibration: run Tests 1-7 under every algorithm, "
+        "report per-class Q-error quantiles and plan misrankings",
+    )
+    _add_scale(calibrate)
+    calibrate.add_argument(
+        "--tests", default=None,
+        help="comma-separated subset of: " + ", ".join(PAPER_TESTS),
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="persistent benchmark telemetry: --record writes "
+        "BENCH_<label>.json; --compare gates it against a baseline "
+        "(exit 1 on regression)",
+    )
+    _add_scale(bench)
+    bench.add_argument(
+        "--record", action="store_true",
+        help="run the paper workload and persist a structured run record",
+    )
+    bench.add_argument(
+        "--compare", action="store_true",
+        help="compare the latest record against --baseline (or the "
+        "default record path) and exit nonzero on any regression",
+    )
+    bench.add_argument(
+        "--label", default="paper",
+        help="record label; the default path is BENCH_<label>.json "
+        "(default 'paper')",
+    )
+    bench.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline record to compare against "
+        "(default: BENCH_<label>.json)",
+    )
+    bench.add_argument(
+        "--output", metavar="FILE",
+        help="where --record writes the record "
+        "(default: BENCH_<label>.json in the current directory)",
+    )
+    bench.add_argument(
+        "--tests", default=None,
+        help="restrict the calibration sweep to a comma-separated subset "
+        "of: " + ", ".join(PAPER_TESTS),
+    )
+    bench.add_argument(
+        "--no-figures", action="store_true",
+        help="skip the Figures 10-12 sharing sweeps (faster)",
+    )
+
     report_cmd = sub.add_parser(
         "report", help="run every paper experiment; emit a markdown report"
     )
@@ -290,6 +360,95 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.file:
+        with open(args.file) as handle:
+            mdx = handle.read()
+    elif args.mdx:
+        mdx = args.mdx
+    else:
+        print("error: provide MDX text or --file", file=sys.stderr)
+        return 2
+    from .core.explain import explain_plan
+
+    db = build_paper_database(scale=args.scale)
+    queries = translate_mdx(db.schema, mdx)
+    plan = db.optimize(queries, args.algorithm)
+    print(explain_plan(db.schema, db.catalog, plan))
+    if args.analyze:
+        report = db.execute(plan)
+        print()
+        print(report.explain_analyze(db.schema, db.catalog))
+    return 0
+
+
+def _parse_tests(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    names = [t.strip() for t in spec.split(",") if t.strip()]
+    unknown = [t for t in names if t not in PAPER_TESTS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown tests {unknown}; choose from {list(PAPER_TESTS)}"
+        )
+    return names
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .obs.analyze import run_calibration
+
+    db = build_paper_database(scale=args.scale)
+    report = run_calibration(db, tests=_parse_tests(args.tests))
+    print(report.render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.history import (
+        RunRecord,
+        compare_records,
+        default_record_path,
+        record_run,
+    )
+
+    if not args.record and not args.compare:
+        print("error: pass --record and/or --compare", file=sys.stderr)
+        return 2
+    default_path = default_record_path(args.label)
+    baseline = None
+    if args.compare:
+        # Load before --record overwrites the default path, so a combined
+        # --record --compare gates against the *previous* record.
+        baseline_path = args.baseline or default_path
+        try:
+            baseline = RunRecord.load(baseline_path)
+        except FileNotFoundError:
+            print(
+                f"error: no baseline at {baseline_path}; record one first "
+                f"with `repro bench --record`",
+                file=sys.stderr,
+            )
+            return 2
+    latest = record_run(
+        label=args.label,
+        scale=args.scale,
+        tests=_parse_tests(args.tests),
+        figures=not args.no_figures,
+    )
+    if args.record:
+        path = args.output or default_path
+        latest.save(path)
+        print(f"recorded benchmark run '{args.label}' -> {path}")
+    if args.compare:
+        print(f"comparing against baseline {baseline_path} "
+              f"(recorded {baseline.created_at or 'unknown'})")
+        result = compare_records(latest, baseline)
+        print(result.render())
+        if not result.passed:
+            return 1
+    return 0
+
+
 def _cmd_select_views(args: argparse.Namespace) -> int:
     db = build_paper_database(scale=args.scale)
     n_base = db.catalog.get("ABCD").n_rows
@@ -331,6 +490,9 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "figures": _cmd_figures,
+    "explain": _cmd_explain,
+    "calibrate": _cmd_calibrate,
+    "bench": _cmd_bench,
     "report": _cmd_report,
     "select-views": _cmd_select_views,
 }

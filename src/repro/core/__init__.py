@@ -1,7 +1,13 @@
 """The paper's contribution: shared star-join operators, multi-query
 optimizers (TPLO / ETPLG / GG), and the plan executor."""
 
-from .executor import ClassExecution, ExecutionReport, execute_plan, run_class
+from .executor import (
+    ClassExecution,
+    ExecutionReport,
+    execute_plan,
+    run_class,
+    run_class_accounted,
+)
 from .explain import explain_class, explain_plan
 from .operators import (
     HashStarJoin,
@@ -43,4 +49,5 @@ __all__ = [
     "explain_plan",
     "make_optimizer",
     "run_class",
+    "run_class_accounted",
 ]

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..obs.analyze import OperatorActuals, q_error
 from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
 from ..storage.iostats import IOStats
@@ -41,11 +42,25 @@ class ClassExecution:
     results: List[QueryResult]
     sim: IOStats
     wall_s: float
+    #: What the physical operator really did (rows scanned, probes issued,
+    #: per-query routed tuples, …); None only for executions built by code
+    #: predating plan accounting.
+    actuals: Optional[OperatorActuals] = None
 
     @property
     def sim_ms(self) -> float:
         """Total simulated milliseconds (I/O + CPU)."""
         return self.sim.total_ms
+
+    @property
+    def est_ms(self) -> float:
+        """The optimizer's estimated cost for this class."""
+        return self.plan_class.est_cost_ms
+
+    @property
+    def q_error(self) -> float:
+        """``max(est/actual, actual/est)`` of this class's cost estimate."""
+        return q_error(self.est_ms, self.sim_ms)
 
 
 @dataclass
@@ -103,6 +118,16 @@ class ExecutionReport:
         """Measured wall-clock seconds."""
         return sum(e.wall_s for e in self.class_executions)
 
+    @property
+    def est_ms(self) -> float:
+        """The optimizer's estimated cost of the whole plan."""
+        return self.plan.est_cost_ms
+
+    @property
+    def q_error(self) -> float:
+        """Q-error of the whole plan's cost estimate."""
+        return q_error(self.est_ms, self.sim_ms)
+
     def summary(self) -> str:
         """One-line summary for logs and console output."""
         return (
@@ -115,30 +140,71 @@ class ExecutionReport:
 
     def explain_analyze(self, schema, catalog) -> str:
         """EXPLAIN ANALYZE: each class's operator tree annotated with its
-        estimated and *measured* cost — the estimate/actual gap is how one
-        audits the cost model on a live plan."""
+        estimated and *measured* cost — per class and per query — so the
+        estimate/actual gap (Q-error) can be audited on a live plan."""
+        from ..obs.analyze import account_execution
         from .explain import explain_class
 
         blocks = [self.summary()]
         for execution in self.class_executions:
             tree = explain_class(schema, catalog, execution.plan_class)
-            est = execution.plan_class.est_cost_ms
-            actual = execution.sim_ms
+            accounting = account_execution(execution)
+            est = accounting.est_ms
+            actual = accounting.actual_ms
             gap = (actual / est - 1.0) * 100 if est else 0.0
-            blocks.append(
-                f"{tree}\n   => est {est:.1f} sim-ms, actual {actual:.1f} "
-                f"sim-ms ({gap:+.0f}%), wall {execution.wall_s * 1000:.1f} ms"
-            )
+            lines = [
+                tree,
+                f"   => est {est:.1f} sim-ms, actual {actual:.1f} "
+                f"sim-ms ({gap:+.0f}%, q-error {accounting.q_error:.3f}), "
+                f"wall {execution.wall_s * 1000:.1f} ms",
+                f"   => actual io {accounting.actual_io_ms:.1f} + cpu "
+                f"{accounting.actual_cpu_ms:.1f} sim-ms; "
+                f"{accounting.seq_page_reads} seq / "
+                f"{accounting.rand_page_reads} rand page read(s), "
+                f"{accounting.buffer_hits} buffer hit(s)",
+            ]
+            actuals = accounting.actuals
+            if actuals is not None:
+                if actuals.rows_scanned:
+                    lines.append(
+                        f"   => scanned {actuals.rows_scanned} row(s) on "
+                        f"{actuals.pages_scanned} page(s)"
+                    )
+                if actuals.probes_issued:
+                    lines.append(
+                        f"   => probed {actuals.probes_issued} row(s) via "
+                        f"union bitmap (popcount "
+                        f"{actuals.union_popcount})"
+                    )
+            for qa in accounting.queries:
+                routed = (
+                    f", routed {qa.tuples_routed}"
+                    if qa.tuples_routed is not None
+                    else ""
+                )
+                lines.append(
+                    f"      {qa.label} [{qa.method}]: est standalone "
+                    f"{qa.est_standalone_ms:.1f} / marginal "
+                    f"{qa.est_marginal_ms:.1f} sim-ms; actual pipeline cpu "
+                    f"{qa.actual_cpu_ms:.2f} sim-ms "
+                    f"(rows {qa.rows_in} -> {qa.rows_passed}{routed}, "
+                    f"{qa.n_groups} group(s))"
+                )
+            blocks.append("\n".join(lines))
         return "\n\n".join(blocks)
 
 
-def run_class(ctx: ExecContext, plan_class: PlanClass) -> List[QueryResult]:
-    """Execute one class with the operator its method mix calls for.
+def run_class_accounted(
+    ctx: ExecContext, plan_class: PlanClass
+) -> Tuple[List[QueryResult], OperatorActuals]:
+    """Execute one class with the operator its method mix calls for,
+    returning the results *and* the operator's measured actuals.
 
     Results are returned in the class's plan order.  When the context's
     tracer is live, the physical operator runs inside an
     ``operator.<kind>`` span whose cost-clock delta is exactly the class's
-    charged work.
+    charged work; the operator's actuals land in the span's ``actuals``
+    attribute.
     """
     queries = plan_class.queries
     source = plan_class.source
@@ -146,32 +212,47 @@ def run_class(ctx: ExecContext, plan_class: PlanClass) -> List[QueryResult]:
     if plan_class.is_pure_hash:
         with tracer.span(
             "operator.shared_scan_hash", source=source, n_queries=len(queries)
-        ):
-            return SharedScanHashStarJoin(ctx, source, queries).run()
-    if plan_class.is_pure_index:
-        if len(queries) == 1:
-            with tracer.span("operator.index_star", source=source, n_queries=1):
-                return IndexStarJoin(ctx, source, queries[0]).run()
+        ) as span:
+            operator = SharedScanHashStarJoin(ctx, source, queries)
+            results = operator.run()
+    elif plan_class.is_pure_index and len(queries) == 1:
+        with tracer.span(
+            "operator.index_star", source=source, n_queries=1
+        ) as span:
+            operator = IndexStarJoin(ctx, source, queries[0])
+            results = operator.run()
+    elif plan_class.is_pure_index:
         with tracer.span(
             "operator.shared_index", source=source, n_queries=len(queries)
-        ):
-            return SharedIndexStarJoin(ctx, source, queries).run()
-    hash_queries = [
-        p.query for p in plan_class.plans if p.method is JoinMethod.HASH
-    ]
-    index_queries = [
-        p.query for p in plan_class.plans if p.method is JoinMethod.INDEX
-    ]
-    with tracer.span(
-        "operator.shared_hybrid",
-        source=source,
-        n_hash=len(hash_queries),
-        n_index=len(index_queries),
-    ):
-        by_qid = SharedHybridStarJoin(
-            ctx, source, hash_queries, index_queries
-        ).run()
-    return [by_qid[q.qid] for q in queries]
+        ) as span:
+            operator = SharedIndexStarJoin(ctx, source, queries)
+            results = operator.run()
+    else:
+        hash_queries = [
+            p.query for p in plan_class.plans if p.method is JoinMethod.HASH
+        ]
+        index_queries = [
+            p.query for p in plan_class.plans if p.method is JoinMethod.INDEX
+        ]
+        with tracer.span(
+            "operator.shared_hybrid",
+            source=source,
+            n_hash=len(hash_queries),
+            n_index=len(index_queries),
+        ) as span:
+            operator = SharedHybridStarJoin(
+                ctx, source, hash_queries, index_queries
+            )
+            by_qid = operator.run()
+            results = [by_qid[q.qid] for q in queries]
+    if tracer.enabled:
+        span.set("actuals", operator.actuals.as_dict())
+    return results, operator.actuals
+
+
+def run_class(ctx: ExecContext, plan_class: PlanClass) -> List[QueryResult]:
+    """Execute one class; results only (see :func:`run_class_accounted`)."""
+    return run_class_accounted(ctx, plan_class)[0]
 
 
 def _validate_paranoid(db: "Database", plan: GlobalPlan, ctx: ExecContext) -> None:
@@ -242,10 +323,11 @@ def execute_plan(
             ) as span:
                 before = db.stats.snapshot()
                 started = time.perf_counter()
-                results = run_class(ctx, plan_class)
+                results, actuals = run_class_accounted(ctx, plan_class)
                 wall_s = time.perf_counter() - started
                 delta = db.stats.delta_since(before)
                 span.set("sim_ms", round(delta.total_ms, 3))
+                span.set("est_ms", round(plan_class.est_cost_ms, 3))
             classes_counter.inc()
             queries_counter.inc(len(plan_class.queries))
             if paranoia:
@@ -264,6 +346,7 @@ def execute_plan(
                     results=results,
                     sim=delta,
                     wall_s=wall_s,
+                    actuals=actuals,
                 )
             )
     return report

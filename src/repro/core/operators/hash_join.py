@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ...obs.analyze import OperatorActuals
 from ...schema.lattice import source_can_answer
 from ...schema.query import GroupByQuery
 from .pipeline import ExecContext, QueryPipeline, RollupCache, page_columns
@@ -32,6 +33,10 @@ class SharedScanHashStarJoin:
         self.ctx = ctx
         self.source = ctx.entry(source_name)
         self.queries = list(queries)
+        #: Filled during :meth:`run` — the operator's measured actuals.
+        self.actuals = OperatorActuals(
+            operator=type(self).__name__, source=source_name
+        )
         for query in self.queries:
             if not source_can_answer(
                 self.source.levels, self.source.source_aggregate, query
@@ -59,11 +64,19 @@ class SharedScanHashStarJoin:
             for q in self.queries
         ]
         n_dims = ctx.schema.n_dims
+        actuals = self.actuals
         for page in self.source.table.scan_pages(ctx.pool):
             keys, measures = page_columns(page, n_dims)
+            actuals.pages_scanned += 1
+            actuals.rows_scanned += len(page.rows)
             for pipeline in pipelines:
                 pipeline.process_batch(keys, measures, ctx.stats)
-        return [p.result() for p in pipelines]
+        results = [p.result() for p in pipelines]
+        for query, pipeline, result in zip(self.queries, pipelines, results):
+            actuals.record_pipeline(
+                query.qid, pipeline, result, ctx.stats.rates
+            )
+        return results
 
 
 class HashStarJoin(SharedScanHashStarJoin):

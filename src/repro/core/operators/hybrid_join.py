@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ...obs.analyze import OperatorActuals
 from ...obs.metrics import default_registry
 from ...schema.lattice import source_can_answer
 from ...schema.query import GroupByQuery
@@ -40,6 +41,10 @@ class SharedHybridStarJoin:
         self.source = ctx.entry(source_name)
         self.hash_queries = list(hash_queries)
         self.index_queries = list(index_queries)
+        #: Filled during :meth:`run` — the operator's measured actuals.
+        self.actuals = OperatorActuals(
+            operator=type(self).__name__, source=source_name
+        )
         for query in self.hash_queries + self.index_queries:
             if not source_can_answer(
                 self.source.levels, self.source.source_aggregate, query
@@ -53,11 +58,16 @@ class SharedHybridStarJoin:
     def run(self) -> Dict[int, QueryResult]:
         """Run all queries; returns ``{query.qid: result}``."""
         ctx = self.ctx
+        actuals = self.actuals
         # Phase 1 of each index plan is unchanged: build the result bitmap.
         index_filters = [
             query_result_bitmap(ctx, self.source, q).to_bool_array()
             for q in self.index_queries
         ]
+        for query, bits in zip(self.index_queries, index_filters):
+            actuals.bitmap_popcounts[query.qid] = int(bits.sum())
+            actuals.tuples_tested[query.qid] = 0
+            actuals.tuples_routed[query.qid] = 0
         rollups = RollupCache(
             ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
         )
@@ -90,26 +100,38 @@ class SharedHybridStarJoin:
         # Phase 2: one shared sequential scan feeds everybody.
         for page in self.source.table.scan_pages(ctx.pool):
             keys, measures = page_columns(page, n_dims)
+            actuals.pages_scanned += 1
+            actuals.rows_scanned += len(page.rows)
             for pipe in hash_pipes:
                 pipe.process_batch(keys, measures, ctx.stats)
             if not index_pipes:
                 continue
             start = page.page_no * capacity
             stop = start + len(page.rows)
-            for pipe, bits in zip(index_pipes, index_filters):
+            for query, pipe, bits in zip(
+                self.index_queries, index_pipes, index_filters
+            ):
                 ctx.stats.charge_bitmap_test(len(page.rows))
                 routed.inc(len(page.rows))
+                actuals.tuples_tested[query.qid] += len(page.rows)
                 mine = bits[start:stop]
                 if not mine.any():
                     continue
+                actuals.tuples_routed[query.qid] += int(mine.sum())
                 pipe.process_batch(
                     [col[mine] for col in keys], measures[mine], ctx.stats
                 )
         out: Dict[int, QueryResult] = {}
         for query, pipe in zip(self.hash_queries, hash_pipes):
             out[query.qid] = pipe.result()
+            actuals.record_pipeline(
+                query.qid, pipe, out[query.qid], ctx.stats.rates
+            )
         for query, pipe in zip(self.index_queries, index_pipes):
             out[query.qid] = pipe.result()
+            actuals.record_pipeline(
+                query.qid, pipe, out[query.qid], ctx.stats.rates
+            )
         return out
 
     def run_ordered(self) -> List[QueryResult]:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ...index.bitmap import Bitmap, and_all
 from ...index.bitmap_index import JoinIndex
+from ...obs.analyze import OperatorActuals
 from ...obs.metrics import default_registry
 from ...schema.lattice import source_can_answer
 from ...schema.query import DimPredicate, GroupByQuery
@@ -120,6 +121,10 @@ class IndexStarJoin:
         self.ctx = ctx
         self.source = ctx.entry(source_name)
         self.query = query
+        #: Filled during :meth:`run` — the operator's measured actuals.
+        self.actuals = OperatorActuals(
+            operator=type(self).__name__, source=source_name
+        )
         if not source_can_answer(
             self.source.levels, self.source.source_aggregate, query
         ):
@@ -134,6 +139,10 @@ class IndexStarJoin:
         ctx = self.ctx
         bitmap = query_result_bitmap(ctx, self.source, self.query)
         positions = bitmap.positions()
+        actuals = self.actuals
+        actuals.union_popcount = int(bitmap.count())
+        actuals.probes_issued = int(positions.size)
+        actuals.bitmap_popcounts[self.query.qid] = int(bitmap.count())
         keys, measures = _probe_and_collect(ctx, self.source, positions)
         rollups = RollupCache(
             ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
@@ -146,7 +155,11 @@ class IndexStarJoin:
             source_aggregate=self.source.source_aggregate,
         )
         pipeline.process_batch(keys, measures, ctx.stats)
-        return pipeline.result()
+        result = pipeline.result()
+        actuals.record_pipeline(
+            self.query.qid, pipeline, result, ctx.stats.rates
+        )
+        return result
 
     def run(self) -> List[QueryResult]:
         """Execute the operator; returns per-query results in input order."""
@@ -167,6 +180,10 @@ class SharedIndexStarJoin:
         self.ctx = ctx
         self.source = ctx.entry(source_name)
         self.queries = list(queries)
+        #: Filled during :meth:`run` — the operator's measured actuals.
+        self.actuals = OperatorActuals(
+            operator=type(self).__name__, source=source_name
+        )
         for query in self.queries:
             if not source_can_answer(
                 self.source.levels, self.source.source_aggregate, query
@@ -180,6 +197,7 @@ class SharedIndexStarJoin:
     def run(self) -> List[QueryResult]:
         """Execute the operator; returns per-query results in input order."""
         ctx = self.ctx
+        actuals = self.actuals
         # Step 1: per-query result bitmaps, then OR them into one probe set.
         per_query = [
             query_result_bitmap(ctx, self.source, q) for q in self.queries
@@ -195,6 +213,8 @@ class SharedIndexStarJoin:
         ).inc(max(len(per_query) - 1, 0))
         # Step 2: probe the base table once with the union bitmap.
         positions = union.positions()
+        actuals.union_popcount = int(union.count())
+        actuals.probes_issued = int(positions.size)
         keys, measures = _probe_and_collect(ctx, self.source, positions)
         # Step 3: "Filter tuples" — route each tuple to the queries whose own
         # bitmap has its position set.  Step 4: per-query aggregation.
@@ -212,6 +232,9 @@ class SharedIndexStarJoin:
             mine = bitmap.to_bool_array()[positions] if positions.size else (
                 np.empty(0, dtype=bool)
             )
+            actuals.bitmap_popcounts[query.qid] = int(bitmap.count())
+            actuals.tuples_tested[query.qid] = int(positions.size)
+            actuals.tuples_routed[query.qid] = int(mine.sum())
             pipeline = QueryPipeline(
                 ctx.schema,
                 query,
@@ -222,5 +245,7 @@ class SharedIndexStarJoin:
             pipeline.process_batch(
                 [col[mine] for col in keys], measures[mine], ctx.stats
             )
-            results.append(pipeline.result())
+            result = pipeline.result()
+            actuals.record_pipeline(query.qid, pipeline, result, ctx.stats.rates)
+            results.append(result)
         return results

@@ -202,6 +202,27 @@ class QueryPipeline:
         self.rows_in = 0
         self.rows_passed = 0
 
+    @property
+    def n_probe_dims(self) -> int:
+        """Dimensions whose hash structure each input tuple probes."""
+        return self._n_probe_dims
+
+    @property
+    def n_predicates(self) -> int:
+        """Predicate masks each input tuple is tested against."""
+        return len(self._masks)
+
+    def actual_cpu_ms(self, rates) -> float:
+        """Simulated CPU milliseconds this pipeline charged so far, from its
+        own row counters priced at ``rates`` — exactly the per-query share
+        of the class's CPU charge (probe + filter + copy + aggregate), so
+        plan accounting can attribute measured cost to individual queries."""
+        return (
+            self.rows_in * self._n_probe_dims * rates.hash_probe_ms
+            + self.rows_in * len(self._masks) * rates.predicate_eval_ms
+            + self.rows_passed * (rates.tuple_copy_ms + rates.agg_update_ms)
+        )
+
     def process_batch(
         self,
         key_columns: Sequence[np.ndarray],

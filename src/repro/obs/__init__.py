@@ -21,10 +21,22 @@ CLI's ``--trace out.json``; see ``docs/observability.md`` for the span and
 metric naming conventions.
 """
 
+from .analyze import (
+    CalibrationReport,
+    ClassAccounting,
+    Misranking,
+    OperatorActuals,
+    QueryAccounting,
+    account_execution,
+    account_report,
+    q_error,
+    run_calibration,
+)
 from .export import (
     metrics_to_dict,
     span_from_dict,
     to_chrome_trace,
+    to_cost_clock_track,
     trace_to_dict,
     write_chrome_trace,
     write_trace,
@@ -42,7 +54,16 @@ from .metrics import (
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "CalibrationReport",
+    "ClassAccounting",
     "Counter",
+    "Misranking",
+    "OperatorActuals",
+    "QueryAccounting",
+    "account_execution",
+    "account_report",
+    "q_error",
+    "run_calibration",
     "DuplicateMetricError",
     "Gauge",
     "Histogram",
@@ -57,6 +78,7 @@ __all__ = [
     "set_default_registry",
     "span_from_dict",
     "to_chrome_trace",
+    "to_cost_clock_track",
     "trace_to_dict",
     "write_chrome_trace",
     "write_trace",

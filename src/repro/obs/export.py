@@ -104,6 +104,58 @@ def to_chrome_trace(
     return events
 
 
+def _sim_total_ms(span: Span) -> float:
+    """A span's cost-clock extent: its own sim delta, or (for untracked
+    spans) the sum of its children's extents."""
+    sim = _sim_dict(span)
+    if sim is not None:
+        return float(sim["total_ms"])
+    return sum(_sim_total_ms(child) for child in span.children)
+
+
+def to_cost_clock_track(
+    span: Span, pid: int = 2, tid: int = 1
+) -> List[dict]:
+    """The span tree re-timed on the *simulated cost clock* as a second
+    Chrome-trace track.
+
+    Wall time and simulated cost disagree whenever the simulation charges
+    more than the host pays (big pages, cold reads); this track renders
+    each span with ``dur`` equal to its simulated milliseconds instead of
+    its wall time, so the two clocks can be compared side by side in the
+    viewer.  The cost clock has no real timeline — children are laid out
+    sequentially from their parent's start, in tree order.
+    """
+    events: List[dict] = []
+
+    def place(node: Span, start_ms: float) -> None:
+        total = _sim_total_ms(node)
+        args = dict(node.attrs)
+        sim = _sim_dict(node)
+        if sim is not None:
+            args["sim_io_ms"] = sim["io_ms"]
+            args["sim_cpu_ms"] = sim["cpu_ms"]
+        args["wall_ms"] = round(node.wall_ms, 3)
+        events.append(
+            {
+                "name": node.name,
+                "ph": "X",
+                "ts": round(start_ms * 1000.0, 3),
+                "dur": round(total * 1000.0, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        cursor = start_ms
+        for child in node.children:
+            place(child, cursor)
+            cursor += _sim_total_ms(child)
+
+    place(span, 0.0)
+    return events
+
+
 def write_trace(span: Span, path: PathLike, indent: int = 2) -> Path:
     """Write a span tree as a JSON file (see :func:`trace_to_dict`);
     returns the path written."""
@@ -114,11 +166,30 @@ def write_trace(span: Span, path: PathLike, indent: int = 2) -> Path:
 
 def write_chrome_trace(span: Span, path: PathLike) -> Path:
     """Write a span tree as a Chrome-trace JSON event list; returns the
-    path written."""
+    path written.
+
+    Two tracks: pid 1 is wall time (:func:`to_chrome_trace`), pid 2 is the
+    simulated cost clock (:func:`to_cost_clock_track`); ``process_name``
+    metadata labels them in the viewer.
+    """
     path = Path(path)
-    path.write_text(
-        json.dumps({"traceEvents": to_chrome_trace(span)}, indent=2) + "\n"
-    )
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "wall clock"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "args": {"name": "simulated cost clock"},
+        },
+    ]
+    events += to_chrome_trace(span, pid=1)
+    events += to_cost_clock_track(span, pid=2)
+    path.write_text(json.dumps({"traceEvents": events}, indent=2) + "\n")
     return path
 
 

@@ -93,18 +93,43 @@ class Gauge:
 
 
 class Histogram:
-    """A summary of observed values: count, sum, min, max, and mean."""
+    """A summary of observed values: count, sum, min, max, mean, and
+    quantiles from a bounded systematic sample.
+
+    The sample keeps every observation until ``max_samples``, then
+    deterministically decimates (every other kept value) and doubles the
+    keep stride — no randomness, so tests and repeated runs see identical
+    quantiles.  Below ``max_samples`` observations the quantiles are exact.
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "count", "total", "min", "max")
+    DEFAULT_MAX_SAMPLES = 4096
+    __slots__ = (
+        "name",
+        "help",
+        "count",
+        "total",
+        "min",
+        "max",
+        "max_samples",
+        "_samples",
+        "_stride",
+        "_countdown",
+    )
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", max_samples: int = DEFAULT_MAX_SAMPLES):
+        if max_samples < 2:
+            raise ValueError("histogram needs max_samples >= 2")
         self.name = name
         self.help = help
+        self.max_samples = max_samples
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
+        self._countdown = 1
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -114,11 +139,39 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._samples.append(value)
+            if len(self._samples) > self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._countdown = self._stride
 
     @property
     def mean(self) -> float:
         """Mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 <= q <= 1) of the retained sample, by linear
+        interpolation between sorted sample points; None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def n_samples(self) -> int:
+        """Observations currently retained for quantile estimation."""
+        return len(self._samples)
 
     def reset(self) -> None:
         """Forget every observation."""
@@ -126,6 +179,9 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        self._samples = []
+        self._stride = 1
+        self._countdown = 1
 
     def dump(self) -> dict:
         """Summary dict (the flat-export value)."""
@@ -135,6 +191,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

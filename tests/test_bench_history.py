@@ -1,0 +1,158 @@
+"""Benchmark history: run-record persistence and the regression gate,
+exercised on synthetic records (no database build — fast, tier-1)."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    DEFAULT_THRESHOLDS,
+    RunRecord,
+    compare_records,
+    default_record_path,
+)
+
+FINGERPRINT = {"schema": "tiny", "scale": 0.01, "page_size": 64}
+
+
+def make_record(sim=100.0, est=100.0, n_classes=2, shared=50.0,
+                misrankings=0, q95=1.1, qmax=1.3):
+    return RunRecord(
+        label="t",
+        created_at="2026-08-06T00:00:00",
+        fingerprint=dict(FINGERPRINT),
+        tests={
+            "test4": [
+                {
+                    "algorithm": "gg",
+                    "est_ms": est,
+                    "sim_ms": sim,
+                    "n_classes": n_classes,
+                    "plan": "XY(H+H)",
+                }
+            ]
+        },
+        figures={
+            "fig10": [
+                {"n_queries": 2, "separate_ms": 80.0, "shared_ms": shared}
+            ]
+        },
+        calibration={
+            "n_classes": 4,
+            "misrankings": misrankings,
+            "q_error_p95": q95,
+            "q_error_max": qmax,
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        record = make_record()
+        path = record.save(tmp_path / "BENCH_t.json")
+        loaded = RunRecord.load(path)
+        assert loaded.to_dict() == record.to_dict()
+
+    def test_newer_version_rejected(self, tmp_path):
+        doc = make_record().to_dict()
+        doc["version"] = 999
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="newer than supported"):
+            RunRecord.load(path)
+
+    def test_default_path_embeds_label(self, tmp_path):
+        path = default_record_path("nightly", tmp_path)
+        assert path == tmp_path / "BENCH_nightly.json"
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        report = compare_records(make_record(), make_record())
+        assert report.passed
+        assert report.regressions == []
+        assert report.n_compared > 0
+
+    def test_small_drift_within_threshold_passes(self):
+        report = compare_records(make_record(sim=105.0), make_record())
+        assert report.passed
+
+    def test_sim_cost_regression_fails(self):
+        # 30% worse than baseline, well past the 10% sim_ms threshold —
+        # the acceptance bar for the CLI gate.
+        report = compare_records(make_record(sim=130.0), make_record())
+        assert not report.passed
+        (reg,) = report.regressions
+        assert reg.metric == "sim_ms"
+        assert reg.context == "test4/gg"
+        assert reg.change == pytest.approx(0.30)
+        assert "REGRESSION" in report.render()
+        assert report.render().endswith("FAIL")
+
+    def test_improvement_is_not_a_regression(self):
+        report = compare_records(make_record(sim=70.0), make_record())
+        assert report.passed
+        assert len(report.improvements) == 1
+
+    def test_misranking_increase_gates_absolutely(self):
+        report = compare_records(
+            make_record(misrankings=1), make_record(misrankings=0)
+        )
+        assert not report.passed
+        (reg,) = report.regressions
+        assert reg.metric == "misrankings"
+        assert "any increase gates" in reg.describe()
+
+    def test_class_count_increase_gates(self):
+        report = compare_records(
+            make_record(n_classes=3), make_record(n_classes=2)
+        )
+        assert not report.passed
+
+    def test_shared_ms_figure_regression_fails(self):
+        report = compare_records(make_record(shared=60.0), make_record())
+        assert not report.passed
+        assert report.regressions[0].context == "fig10/k=2"
+
+    def test_q_error_regression_fails(self):
+        report = compare_records(make_record(q95=1.5), make_record(q95=1.1))
+        assert not report.passed
+        assert report.regressions[0].metric == "q_error_p95"
+
+    def test_fingerprint_mismatch_is_incomparable(self):
+        other = make_record()
+        other.fingerprint["scale"] = 0.02
+        report = compare_records(make_record(), other)
+        assert not report.passed
+        assert "scale" in report.fingerprint_mismatch
+        assert report.n_compared == 0
+        assert "INCOMPARABLE" in report.render()
+
+    def test_missing_baseline_rows_are_skipped(self):
+        baseline = make_record()
+        baseline.tests = {}
+        baseline.figures = {}
+        report = compare_records(make_record(sim=500.0), baseline)
+        # No shared test/figure metrics: only the calibration block gates.
+        assert all(r.metric not in ("sim_ms", "est_ms")
+                   for r in report.regressions)
+        assert report.passed
+
+    def test_custom_thresholds_override(self):
+        report = compare_records(
+            make_record(sim=115.0), make_record(),
+            thresholds={"sim_ms": 0.20},
+        )
+        assert report.passed
+        report = compare_records(
+            make_record(sim=115.0), make_record(),
+            thresholds={"sim_ms": 0.05},
+        )
+        assert not report.passed
+
+    def test_default_thresholds_untouched_by_override(self):
+        before = dict(DEFAULT_THRESHOLDS)
+        compare_records(
+            make_record(), make_record(), thresholds={"sim_ms": 0.99}
+        )
+        assert DEFAULT_THRESHOLDS == before

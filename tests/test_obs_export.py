@@ -117,6 +117,40 @@ class TestChromeTrace:
         assert "sim_io_ms" in op["args"] and "sim_cpu_ms" in op["args"]
 
 
+class TestCostClockTrack:
+    def test_separate_pid_and_sim_durations(self):
+        from repro.obs.export import to_cost_clock_track
+
+        root = make_trace()
+        events = {e["name"]: e for e in to_cost_clock_track(root, pid=2)}
+        assert all(e["pid"] == 2 for e in events.values())
+        op = events["operator.shared_scan_hash"]
+        sim = root.find("operator.shared_scan_hash").sim
+        # Duration is the span's simulated milliseconds (in µs), not wall.
+        assert op["dur"] == pytest.approx(sim.total_ms * 1000.0, abs=0.01)
+        assert op["args"]["wall_ms"] == pytest.approx(400.0)
+
+    def test_children_nest_within_parent_cost_interval(self):
+        from repro.obs.export import to_cost_clock_track
+
+        events = {e["name"]: e for e in to_cost_clock_track(make_trace())}
+        batch = events["batch"]
+        for name, event in events.items():
+            assert event["ts"] >= batch["ts"]
+            assert event["ts"] + event["dur"] <= (
+                batch["ts"] + batch["dur"] + 0.01
+            )
+
+    def test_untracked_span_spans_its_children(self):
+        from repro.obs.export import to_cost_clock_track
+
+        events = {e["name"]: e for e in to_cost_clock_track(make_trace())}
+        # batch itself charged nothing directly; its cost extent is the
+        # sum of its tracked descendants.
+        operator = events["operator.shared_scan_hash"]
+        assert events["execute.plan"]["dur"] >= operator["dur"]
+
+
 class TestFileOutput:
     def test_write_trace(self, tmp_path):
         path = write_trace(make_trace(), tmp_path / "trace.json")

@@ -177,7 +177,15 @@ class TestCliTrace:
                      "--trace", str(out)]) == 0
         events = json.loads(out.read_text())["traceEvents"]
         assert any(e["name"].startswith("operator.") for e in events)
-        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ph"] in ("X", "M") for e in events)
+        # Two tracks: pid 1 is wall time, pid 2 the simulated cost clock,
+        # each labelled by a process_name metadata event.
+        spans_by_pid = {e["pid"] for e in events if e["ph"] == "X"}
+        assert spans_by_pid == {1, 2}
+        labels = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert labels == {"wall clock", "simulated cost clock"}
 
     def test_analyze_flag_prints_estimate_vs_actual(self, capsys):
         assert main(["run", self.MDX, "--scale", "0.002", "--analyze"]) == 0

@@ -54,12 +54,50 @@ class TestHistogram:
         assert h.mean == pytest.approx(2.0)
         assert h.dump() == {
             "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "p50": 2.0, "p95": pytest.approx(2.9), "p99": pytest.approx(2.98),
         }
 
     def test_empty(self):
         h = Histogram("latency")
         assert h.mean == 0.0
         assert h.dump()["min"] is None
+        assert h.dump()["p50"] is None
+        assert h.quantile(0.95) is None
+
+    def test_quantiles_exact_below_sample_cap(self):
+        h = Histogram("latency")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.95) == pytest.approx(95.05)
+        assert h.quantile(0.99) == pytest.approx(99.01)
+
+    def test_quantile_bounds_checked(self):
+        h = Histogram("latency")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_decimation_is_deterministic_and_bounded(self):
+        a = Histogram("x", max_samples=64)
+        b = Histogram("x", max_samples=64)
+        for v in range(1000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.n_samples <= 64
+        assert a.quantile(0.5) == b.quantile(0.5)
+        # The decimated median still tracks the true median.
+        assert a.quantile(0.5) == pytest.approx(499.5, abs=50)
+        assert a.count == 1000 and a.max == 999.0
+
+    def test_reset_clears_samples(self):
+        h = Histogram("latency")
+        h.observe(5.0)
+        h.reset()
+        assert h.n_samples == 0
+        assert h.quantile(0.5) is None
 
 
 class TestRegistry:

@@ -64,6 +64,49 @@ class TestCsvExport:
         with pytest.raises(ValueError):
             write_csv([], tmp_path / "e.csv")
 
+    def test_empty_rejection_message_names_the_fix(self, tmp_path):
+        with pytest.raises(ValueError, match="pass fieldnames"):
+            write_csv([], tmp_path / "e.csv")
+
+    def test_empty_with_fieldnames_writes_header_only(self, tmp_path):
+        path = write_csv(
+            [], tmp_path / "h.csv", fieldnames=["n_queries", "shared_ms"]
+        )
+        assert path.read_text().strip() == "n_queries,shared_ms"
+        assert read_csv(path) == []
+
+    def test_nested_dataclass_flattens_one_level(self, tmp_path):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Inner:
+            io_ms: float
+            cpu_ms: float
+            counters: dict  # non-scalar: dropped even inside a level
+
+        @dataclass
+        class Outer:
+            name: str
+            sim: Inner
+
+        rows = [Outer("gg", Inner(10.0, 2.5, {"x": 1}))]
+        path = write_csv(rows, tmp_path / "n.csv")
+        back = read_csv(path)
+        assert back == [
+            {"name": "gg", "sim.io_ms": "10.0", "sim.cpu_ms": "2.5"}
+        ]
+
+    def test_execution_sim_counters_export(self, tmp_path, paper_db,
+                                           paper_qs):
+        plan = paper_db.optimize([paper_qs[1], paper_qs[2]], "gg")
+        report = paper_db.execute(plan)
+        path = write_csv(report.class_executions, tmp_path / "cls.csv")
+        back = read_csv(path)
+        assert len(back) == len(report.class_executions)
+        # IOStats fields surface as dotted sim.* columns.
+        assert float(back[0]["sim.seq_page_reads"]) >= 0
+        assert "wall_s" in back[0]
+
     def test_harness_rows_export(self, tmp_path, paper_db, paper_qs):
         rows = run_test1_shared_scan(
             paper_db, [paper_qs[1], paper_qs[2]]
