@@ -6,10 +6,16 @@ Usage (installed as a module)::
     python -m repro run "{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D.DD1)"
     python -m repro compare --tests test4,test7
     python -m repro figures
+    python -m repro serve --simulate --clients 32 --window 25
     python -m repro select-views --budget 4
 
 Every subcommand builds the paper's ABCD database (scaled by ``--scale``)
 unless documented otherwise.
+
+Exit codes are uniform across subcommands: ``0`` success, ``1`` a run
+that completed but failed its check (benchmark regression, correctness
+divergence, simulation shortfall), ``2`` a usage error (argparse uses the
+same convention for unparseable arguments).
 """
 
 from __future__ import annotations
@@ -31,6 +37,10 @@ from .workload.paper_queries import PAPER_TESTS, paper_queries
 from .workload.paper_schema import build_paper_database
 
 ALGORITHMS = ("naive", "tplo", "etplg", "gg", "optimal")
+
+
+class CliError(Exception):
+    """A usage error: printed to stderr, exits with code 2."""
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +198,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the Figures 10-12 sharing sweeps (faster)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="concurrent query service: micro-batch overlapping requests "
+        "from simulated clients and report the sharing win",
+        description="Drive the repro.serve subsystem under simulated "
+        "concurrent load: N client threads submit overlapping MDX-derived "
+        "query batches, the scheduler coalesces everything inside the "
+        "batching window into one multi-query plan, and the report "
+        "compares the batched simulated cost against serving each request "
+        "alone.  Exits 1 if batching failed to beat serial execution.",
+    )
+    _add_scale(serve)
+    serve.add_argument(
+        "--simulate", action="store_true",
+        help="run the simulated-load harness (required; a network front "
+        "end is out of scope)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=32,
+        help="number of concurrent simulated clients (default 32)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=3,
+        help="requests each client issues (default 3)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=25.0, metavar="MS",
+        help="micro-batching window in milliseconds (default 25)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="threads executing a merged plan's classes (default 4)",
+    )
+    serve.add_argument(
+        "--overlap", type=float, default=0.75,
+        help="probability a request comes from the shared expression pool "
+        "(default 0.75)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (default 0)",
+    )
+    serve.add_argument(
+        "--algorithm", default="gg", choices=ALGORITHMS,
+        help="optimizer for each micro-batch (default gg)",
+    )
+    serve.add_argument(
+        "--cache", action="store_true",
+        help="attach the semantic result cache, so repeated expressions "
+        "bypass planning entirely",
+    )
+    serve.add_argument(
+        "--arrivals", action="store_true",
+        help="let clients race the running scheduler instead of "
+        "pre-loading the burst (latency depends on thread timing)",
+    )
+    serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip cross-checking every response against serial execution",
+    )
+
     report_cmd = sub.add_parser(
         "report", help="run every paper experiment; emit a markdown report"
     )
@@ -239,8 +310,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.mdx:
         mdx = args.mdx
     else:
-        print("error: provide MDX text or --file", file=sys.stderr)
-        return 2
+        raise CliError("provide MDX text or --file")
     if args.database:
         from .engine.persist import load_database
 
@@ -300,9 +370,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     names = [t.strip() for t in args.tests.split(",") if t.strip()]
     unknown = [t for t in names if t not in PAPER_TESTS]
     if unknown:
-        print(f"error: unknown tests {unknown}; choose from "
-              f"{list(PAPER_TESTS)}", file=sys.stderr)
-        return 2
+        raise CliError(
+            f"unknown tests {unknown}; choose from {list(PAPER_TESTS)}"
+        )
     db = build_paper_database(scale=args.scale)
     db.paranoia = args.paranoia
     if args.paranoia:
@@ -367,8 +437,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     elif args.mdx:
         mdx = args.mdx
     else:
-        print("error: provide MDX text or --file", file=sys.stderr)
-        return 2
+        raise CliError("provide MDX text or --file")
     from .core.explain import explain_plan
 
     db = build_paper_database(scale=args.scale)
@@ -388,10 +457,52 @@ def _parse_tests(spec: Optional[str]) -> Optional[List[str]]:
     names = [t.strip() for t in spec.split(",") if t.strip()]
     unknown = [t for t in names if t not in PAPER_TESTS]
     if unknown:
-        raise SystemExit(
-            f"error: unknown tests {unknown}; choose from {list(PAPER_TESTS)}"
+        raise CliError(
+            f"unknown tests {unknown}; choose from {list(PAPER_TESTS)}"
         )
     return names
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .engine.result_cache import attach_cache
+    from .serve import SimulationConfig, run_simulation
+
+    if not args.simulate:
+        raise CliError("pass --simulate (the only serve mode available)")
+    if args.clients <= 0 or args.requests <= 0:
+        raise CliError("--clients and --requests must be positive")
+    db = build_paper_database(scale=args.scale)
+    if args.cache:
+        attach_cache(db)
+    config = SimulationConfig(
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        window_ms=args.window,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        overlap=args.overlap,
+        n_workers=args.workers,
+        preload=not args.arrivals,
+        verify=not args.no_verify,
+    )
+    print(
+        f"simulating {config.n_clients} client(s) x "
+        f"{config.requests_per_client} request(s), window "
+        f"{config.window_ms:g} ms, {config.n_workers} worker(s), "
+        f"algorithm {config.algorithm}"
+        + (" (result cache attached)" if args.cache else "")
+    )
+    report = run_simulation(db, config)
+    print()
+    print(report.render())
+    if report.batched_sim_ms >= report.serial_sim_ms:
+        print(
+            "\nbatched execution did not beat serial execution; widen the "
+            "window or raise --overlap",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -412,8 +523,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     if not args.record and not args.compare:
-        print("error: pass --record and/or --compare", file=sys.stderr)
-        return 2
+        raise CliError("pass --record and/or --compare")
     default_path = default_record_path(args.label)
     baseline = None
     if args.compare:
@@ -423,12 +533,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         try:
             baseline = RunRecord.load(baseline_path)
         except FileNotFoundError:
-            print(
-                f"error: no baseline at {baseline_path}; record one first "
-                f"with `repro bench --record`",
-                file=sys.stderr,
-            )
-            return 2
+            raise CliError(
+                f"no baseline at {baseline_path}; record one first "
+                f"with `repro bench --record`"
+            ) from None
     latest = record_run(
         label=args.label,
         scale=args.scale,
@@ -493,15 +601,21 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "calibrate": _cmd_calibrate,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "select-views": _cmd_select_views,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code (0 success, 1 failed
+    check, 2 usage error)."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

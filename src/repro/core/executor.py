@@ -16,12 +16,14 @@ reported separately.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..obs.analyze import OperatorActuals, q_error
 from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
+from ..storage.buffer import BufferPool
 from ..storage.iostats import IOStats
 from .operators.hash_join import SharedScanHashStarJoin
 from .operators.hybrid_join import SharedHybridStarJoin
@@ -255,7 +257,7 @@ def run_class(ctx: ExecContext, plan_class: PlanClass) -> List[QueryResult]:
     return run_class_accounted(ctx, plan_class)[0]
 
 
-def _validate_paranoid(db: "Database", plan: GlobalPlan, ctx: ExecContext) -> None:
+def _validate_paranoid(db: "Database", plan: GlobalPlan, tracer) -> None:
     """Paranoia pre-flight: structurally validate the plan before running.
 
     A structural violation is as much a wrong answer as a bad result, so
@@ -264,7 +266,7 @@ def _validate_paranoid(db: "Database", plan: GlobalPlan, ctx: ExecContext) -> No
     from ..check.errors import CorrectnessError, PlanValidationError
     from ..check.validate import validate_global_plan
 
-    with ctx.tracer.span(
+    with tracer.span(
         "check.validate", algorithm=plan.algorithm, n_queries=plan.n_queries
     ):
         try:
@@ -311,7 +313,7 @@ def execute_plan(
         paranoia=paranoia,
     ):
         if paranoia:
-            _validate_paranoid(db, plan, ctx)
+            _validate_paranoid(db, plan, ctx.tracer)
         for plan_class in plan.classes:
             if cold:
                 db.flush()
@@ -349,4 +351,111 @@ def execute_plan(
                     actuals=actuals,
                 )
             )
+    return report
+
+
+def run_class_isolated(db: "Database", plan_class: PlanClass) -> ClassExecution:
+    """Execute one class in a private cold context: its own buffer pool and
+    its own cost clock, sharing only the (read-only) catalog and schema.
+
+    This is the unit of work the parallel class executor hands to a thread:
+    because a fresh pool is indistinguishable from a just-flushed shared
+    pool, the class's results *and* its simulated cost are byte-identical
+    to what ``execute_plan(..., cold=True)`` measures serially — worker
+    interleaving cannot perturb either.  The tracer is deliberately not
+    threaded through: spans nest on a per-tracer stack that is not safe to
+    grow from several threads at once.
+    """
+    stats = IOStats(rates=db.stats.rates)
+    pool = BufferPool(stats, capacity_pages=db.pool.capacity_pages)
+    ctx = ExecContext(
+        schema=db.schema,
+        catalog=db.catalog,
+        pool=pool,
+        stats=stats,
+        dim_tables=db.dimension_tables or None,
+    )
+    started = time.perf_counter()
+    results, actuals = run_class_accounted(ctx, plan_class)
+    wall_s = time.perf_counter() - started
+    return ClassExecution(
+        plan_class=plan_class,
+        results=results,
+        sim=stats,
+        wall_s=wall_s,
+        actuals=actuals,
+    )
+
+
+def execute_plan_parallel(
+    db: "Database",
+    plan: GlobalPlan,
+    n_workers: int = 4,
+    paranoia: Optional[bool] = None,
+) -> ExecutionReport:
+    """Execute a global plan's independent classes concurrently.
+
+    Classes of a global plan share nothing at run time (each reads one
+    source table through its own operators), so they can run on a thread
+    pool.  Every class gets an isolated cold context
+    (:func:`run_class_isolated`); finished per-class clocks are merged
+    into the database's shared clock under its lock, and the report lists
+    classes in plan order — so results, per-class simulated costs, and
+    their sum are all identical to the serial cold
+    :func:`execute_plan`, independent of scheduling.
+
+    Paranoia checks (structural validation plus the differential
+    cross-check of every result) run on the calling thread, outside the
+    measured sections, exactly as in the serial executor.
+    """
+    if paranoia is None:
+        paranoia = bool(getattr(db, "paranoia", False))
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive (got {n_workers})")
+    report = ExecutionReport(plan=plan)
+    metrics = default_registry()
+    classes_counter = metrics.counter(
+        "executor.classes_executed", "plan classes run to completion"
+    )
+    queries_counter = metrics.counter(
+        "executor.queries_executed", "component queries answered"
+    )
+    with db.tracer.span(
+        "execute.plan",
+        algorithm=plan.algorithm,
+        n_classes=len(plan.classes),
+        n_queries=plan.n_queries,
+        paranoia=paranoia,
+        parallel=True,
+        n_workers=n_workers,
+    ):
+        if paranoia:
+            _validate_paranoid(db, plan, db.tracer)
+        classes = list(plan.classes)
+        if not classes:
+            return report
+        if len(classes) == 1 or n_workers == 1:
+            executions = [run_class_isolated(db, pc) for pc in classes]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(n_workers, len(classes))
+            ) as workers:
+                executions = list(
+                    workers.map(lambda pc: run_class_isolated(db, pc), classes)
+                )
+        for execution in executions:
+            db.stats.merge_from(execution.sim)
+            classes_counter.inc()
+            queries_counter.inc(len(execution.plan_class.queries))
+            if paranoia:
+                from ..check.paranoia import check_results
+
+                with db.tracer.span(
+                    "check.class",
+                    source=execution.plan_class.source,
+                    n_results=len(execution.results),
+                ) as check_span:
+                    checked = check_results(db, execution.results, plan=plan)
+                    check_span.set("n_checked", checked)
+            report.class_executions.append(execution)
     return report

@@ -32,6 +32,7 @@ from .materialize import build_groupby_table, pick_materialization_source
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.executor import ExecutionReport
     from ..core.optimizer.plans import GlobalPlan
+    from ..serve.service import QueryService
 
 LevelsLike = Union[str, Sequence[int]]
 
@@ -382,6 +383,22 @@ class Database:
 
         queries = translate_mdx(self.schema, text, tracer=self.tracer)
         return self.run_queries(queries, algorithm=algorithm, cold=cold)
+
+    def serve(self, **config) -> "QueryService":
+        """A concurrent query service over this database (not yet started).
+
+        Keyword arguments become the service's
+        :class:`~repro.serve.batching.ServeConfig`::
+
+            with db.serve(window_ms=5.0) as service:
+                future = service.submit(queries)
+                response = future.result(timeout=10.0)
+
+        See :mod:`repro.serve` and ``docs/serving.md``.
+        """
+        from ..serve import QueryService, ServeConfig
+
+        return QueryService(self, ServeConfig(**config))
 
     # -- inspection ----------------------------------------------------------------
 

@@ -29,19 +29,23 @@ silently answering wrong.
 from __future__ import annotations
 
 import copy
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.operators.results import QueryResult
+from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
 from .session import QueryKey, query_key
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation counters for a ResultCache."""
+    """Hit/miss/eviction/invalidation counters for a ResultCache."""
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     invalidations: int = 0
 
     @property
@@ -52,20 +56,55 @@ class CacheStats:
 
 
 class ResultCache:
-    """A bounded semantic cache of query results."""
+    """A bounded semantic cache of query results.
+
+    Eviction is **access-ordered LRU**: a hit refreshes the entry, so a
+    dashboard's hot queries survive while one-off queries age out —
+    insertion-order (FIFO) eviction would drop the most popular entry as
+    readily as a dead one.  Effectiveness is exported through the metrics
+    registry (``result_cache.hits`` / ``.misses`` / ``.evictions`` /
+    ``.invalidations`` counters, ``result_cache.occupancy`` and
+    ``.hit_rate`` gauges) so the serve layer can report cache health next
+    to its coalescing numbers.
+
+    All operations hold an internal lock: the serve scheduler probes the
+    cache while client threads may run ``db.run_queries`` of their own.
+    """
 
     def __init__(self, max_entries: int = 256):
         if max_entries <= 0:
             raise ValueError("the cache needs room for at least one entry")
         self.max_entries = max_entries
-        self._entries: Dict[QueryKey, Dict] = {}
+        self._entries: "OrderedDict[QueryKey, Dict]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
         #: The mutation epoch the entries were computed at (None until the
         #: first sync).  See :meth:`sync`.
         self._data_version: Optional[int] = None
+        metrics = default_registry()
+        self._hits_metric = metrics.counter(
+            "result_cache.hits", "semantic-cache lookups served"
+        )
+        self._misses_metric = metrics.counter(
+            "result_cache.misses", "semantic-cache lookups that missed"
+        )
+        self._evictions_metric = metrics.counter(
+            "result_cache.evictions", "LRU entries dropped to admit new ones"
+        )
+        self._invalidations_metric = metrics.counter(
+            "result_cache.invalidations",
+            "wholesale cache drops after a data mutation",
+        )
+        self._occupancy_metric = metrics.gauge(
+            "result_cache.occupancy", "entries currently cached"
+        )
+        self._hit_rate_metric = metrics.gauge(
+            "result_cache.hit_rate", "hits / (hits + misses) over the lifetime"
+        )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def sync(self, data_version: int) -> None:
         """Reconcile with the database's mutation epoch: entries computed
@@ -73,39 +112,58 @@ class ResultCache:
         path, so even mutations that bypassed the cache's wrappers (e.g. a
         direct :func:`repro.engine.maintenance.append_rows` call) cannot
         leave stale answers behind."""
-        if self._data_version != data_version:
-            if self._data_version is not None:
-                self.invalidate()
-            self._data_version = data_version
+        with self._lock:
+            if self._data_version != data_version:
+                if self._data_version is not None:
+                    self.invalidate()
+                self._data_version = data_version
 
     def get(self, query: GroupByQuery) -> Optional[QueryResult]:
         """Look an entry up (None/raise per class contract).
 
-        The returned result owns a deep copy of the cached groups; mutating
-        it cannot corrupt the cache.
+        A hit moves the entry to most-recently-used, and the returned
+        result owns a deep copy of the cached groups; mutating it cannot
+        corrupt the cache.
         """
-        groups = self._entries.get(query_key(query))
-        if groups is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return QueryResult(query=query, groups=copy.deepcopy(groups))
+        key = query_key(query)
+        with self._lock:
+            groups = self._entries.get(key)
+            if groups is None:
+                self.stats.misses += 1
+                self._misses_metric.inc()
+                self._hit_rate_metric.set(self.stats.hit_rate)
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self._hits_metric.inc()
+            self._hit_rate_metric.set(self.stats.hit_rate)
+            return QueryResult(query=query, groups=copy.deepcopy(groups))
 
     def put(self, result: QueryResult) -> None:
-        """Insert or replace the entry (deep-copied: later mutation of the
-        caller's result cannot reach the cached groups)."""
+        """Insert or replace the entry at most-recently-used (deep-copied:
+        later mutation of the caller's result cannot reach the cached
+        groups)."""
         key = query_key(result.query)
-        if key not in self._entries and len(self._entries) >= self.max_entries:
-            # FIFO eviction: drop the oldest entry.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[key] = copy.deepcopy(dict(result.groups))
+        with self._lock:
+            if key not in self._entries and (
+                len(self._entries) >= self.max_entries
+            ):
+                # LRU eviction: drop the least-recently-used entry.
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self._evictions_metric.inc()
+            self._entries[key] = copy.deepcopy(dict(result.groups))
+            self._entries.move_to_end(key)
+            self._occupancy_metric.set(len(self._entries))
 
     def invalidate(self) -> None:
         """Drop every cached entry."""
-        if self._entries:
-            self.stats.invalidations += 1
-        self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self.stats.invalidations += 1
+                self._invalidations_metric.inc()
+            self._entries.clear()
+            self._occupancy_metric.set(0)
 
 
 def attach_cache(db, max_entries: int = 256) -> ResultCache:

@@ -21,6 +21,7 @@ charge in batches, mirroring :class:`~repro.storage.iostats.IOStats`).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Union
 
 
@@ -33,21 +34,28 @@ class DuplicateMetricError(MetricError):
 
 
 class Counter:
-    """A monotonically increasing count of events."""
+    """A monotonically increasing count of events.
+
+    Updates hold a per-metric lock: instrumented components run on the
+    serve layer's worker threads, and an unguarded ``+=`` loses counts
+    under thread interleaving.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (must be non-negative) to the count."""
         if n < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def reset(self) -> None:
         """Zero the count."""
@@ -65,20 +73,23 @@ class Gauge:
     """A value that can go up and down (pool occupancy, queue depth)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, delta: float) -> None:
         """Adjust the current value by ``delta`` (may be negative)."""
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def reset(self) -> None:
         """Zero the value."""
@@ -115,6 +126,7 @@ class Histogram:
         "_samples",
         "_stride",
         "_countdown",
+        "_lock",
     )
 
     def __init__(self, name: str, help: str = "", max_samples: int = DEFAULT_MAX_SAMPLES):
@@ -130,22 +142,25 @@ class Histogram:
         self._samples: List[float] = []
         self._stride = 1
         self._countdown = 1
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self._countdown -= 1
-        if self._countdown <= 0:
-            self._samples.append(value)
-            if len(self._samples) > self.max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
-            self._countdown = self._stride
+        """Record one observation (thread-safe: a histogram update touches
+        several fields that must move together)."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._countdown -= 1
+            if self._countdown <= 0:
+                self._samples.append(value)
+                if len(self._samples) > self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+                self._countdown = self._stride
 
     @property
     def mean(self) -> float:
@@ -215,30 +230,33 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     # -- registration ---------------------------------------------------------
 
     def register(self, metric: Metric) -> Metric:
         """Add an externally built metric; the name must be free."""
-        if metric.name in self._metrics:
-            raise DuplicateMetricError(
-                f"metric {metric.name!r} is already registered"
-            )
-        self._metrics[metric.name] = metric
-        return metric
+        with self._lock:
+            if metric.name in self._metrics:
+                raise DuplicateMetricError(
+                    f"metric {metric.name!r} is already registered"
+                )
+            self._metrics[metric.name] = metric
+            return metric
 
     def _get_or_create(self, cls, name: str, help: str) -> Metric:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise DuplicateMetricError(
-                    f"metric {name!r} is registered as a {existing.kind}, "
-                    f"not a {cls.kind}"
-                )
-            return existing
-        metric = cls(name, help)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise DuplicateMetricError(
+                        f"metric {name!r} is registered as a {existing.kind}, "
+                        f"not a {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         """The counter named ``name``, creating it on first use."""

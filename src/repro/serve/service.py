@@ -1,0 +1,472 @@
+"""The concurrent query service: admission, scheduling, and fan-out.
+
+A :class:`QueryService` is the first concurrency layer over the engine.
+Clients on any thread submit group-by batches (or MDX text) and immediately
+get a :class:`~repro.serve.futures.ServeFuture`; a single scheduler thread
+owns the engine and turns the arrival stream into micro-batches:
+
+1. **Admission** — a bounded queue; a full queue rejects at the door
+   (:class:`~repro.serve.futures.AdmissionError`), which is the service's
+   backpressure signal.
+2. **Micro-batching** — everything arriving within ``window_ms`` of the
+   batch's first request (capped at ``max_batch_requests``) is coalesced:
+   duplicate queries across clients collapse to one planned instance, and
+   result-cache hits bypass planning entirely.
+3. **Planning** — the distinct cache-missing queries go through the
+   existing multi-query optimizers (``gg`` by default) as *one* global
+   plan, so the paper's shared star-join operators now share work across
+   sessions, not just within one MDX expression.
+4. **Execution** — the merged plan's independent classes run concurrently
+   on a thread pool via
+   :func:`~repro.core.executor.execute_plan_parallel`; results stay
+   byte-identical to serial single-session execution (each class runs in
+   an isolated cold context).
+5. **Fan-out** — per-query results (deep-ish copies, never shared mutable
+   state) and errors are routed back to each waiting caller's future,
+   with per-request deadlines enforced while queued.
+
+Only the scheduler thread touches the database, so the engine itself needs
+no locking beyond the storage counters the parallel class executor merges.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.executor import execute_plan_parallel
+from ..core.operators.results import QueryResult
+from ..engine.database import Database
+from ..engine.session import QueryKey, query_key
+from ..obs.metrics import default_registry
+from ..schema.query import GroupByQuery
+from .batching import MicroBatch, ServeConfig, ServeRequest, assemble_batch
+from .futures import (
+    AdmissionError,
+    DeadlineExceeded,
+    ServeFuture,
+    ServeResponse,
+    ServiceStopped,
+)
+
+#: How often the idle scheduler wakes to check for shutdown.
+_POLL_S = 0.02
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative accounting of one service's lifetime (scheduler-owned;
+    read from other threads only for reporting)."""
+
+    n_admitted: int = 0
+    n_rejected: int = 0
+    n_timed_out: int = 0
+    n_failed: int = 0
+    n_served: int = 0
+    n_batches: int = 0
+    n_queries_submitted: int = 0
+    n_queries_planned: int = 0
+    n_cache_hits: int = 0
+    n_duplicates_eliminated: int = 0
+    #: Simulated cost actually charged by batch executions.
+    sim_ms_total: float = 0.0
+    #: Requests per executed batch, in execution order.
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Submitted queries per planned query, cache hits excluded from
+        the denominator (1.0 = no cross-session sharing at all)."""
+        denominator = self.n_queries_planned + self.n_cache_hits
+        return (
+            self.n_queries_submitted / denominator if denominator else 1.0
+        )
+
+
+class QueryService:
+    """Accepts concurrent query requests and serves them in micro-batches.
+
+    Usage::
+
+        service = QueryService(db, ServeConfig(window_ms=5.0))
+        with service:                       # starts the scheduler thread
+            future = service.submit(queries)
+            response = future.result(timeout=10.0)
+            response.result_for(queries[0])
+
+    Requests may also be submitted *before* :meth:`start` — they queue up
+    (subject to the same depth bound) and the first scheduler pass drains
+    them; the simulated-load harness uses this to pre-load a burst.
+    """
+
+    def __init__(self, db: Database, config: Optional[ServeConfig] = None):
+        self.db = db
+        self.config = config or ServeConfig()
+        self.stats = ServiceStats()
+        self._queue: "queue.Queue[ServeRequest]" = queue.Queue(
+            maxsize=self.config.max_queue_depth
+        )
+        self._request_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._abort = threading.Event()
+        self._stopped = False
+        metrics = default_registry()
+        self._m_admitted = metrics.counter(
+            "serve.requests_admitted", "requests accepted into the queue"
+        )
+        self._m_rejected = metrics.counter(
+            "serve.requests_rejected", "requests refused by backpressure"
+        )
+        self._m_timed_out = metrics.counter(
+            "serve.requests_timed_out", "requests whose deadline expired queued"
+        )
+        self._m_failed = metrics.counter(
+            "serve.requests_failed", "requests failed by a batch error"
+        )
+        self._m_served = metrics.counter(
+            "serve.requests_served", "requests answered with results"
+        )
+        self._m_batches = metrics.counter(
+            "serve.batches", "micro-batches executed"
+        )
+        self._m_queue_depth = metrics.gauge(
+            "serve.queue_depth", "requests waiting for the scheduler"
+        )
+        self._m_batch_requests = metrics.histogram(
+            "serve.batch_requests", "requests coalesced per micro-batch"
+        )
+        self._m_batch_queries = metrics.histogram(
+            "serve.batch_queries", "queries submitted per micro-batch"
+        )
+        self._m_batch_distinct = metrics.histogram(
+            "serve.batch_distinct", "distinct queries planned per micro-batch"
+        )
+        self._m_batch_sim_ms = metrics.histogram(
+            "serve.batch_sim_ms", "simulated cost per executed micro-batch"
+        )
+        self._m_latency = metrics.histogram(
+            "serve.request_latency_ms",
+            "submit-to-resolve latency per served request",
+        )
+        self._m_coalesce = metrics.gauge(
+            "serve.coalesce_ratio",
+            "submitted / planned queries over the service lifetime",
+        )
+        self._m_duplicates = metrics.counter(
+            "serve.duplicates_eliminated",
+            "duplicate query evaluations avoided by coalescing",
+        )
+        self._m_cache_hits = metrics.counter(
+            "serve.cache_hits", "queries answered from the result cache"
+        )
+        self._m_queries_submitted = metrics.counter(
+            "serve.queries_submitted", "component queries submitted"
+        )
+        self._m_queries_planned = metrics.counter(
+            "serve.queries_planned", "distinct queries planned and executed"
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "QueryService":
+        """Launch the scheduler thread (idempotent while running)."""
+        if self._stopped:
+            raise ServiceStopped("the service has been stopped")
+        if not self.running:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-serve-scheduler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop the scheduler.
+
+        With ``drain`` (default) every queued request is still batched and
+        answered before the thread exits; without it, the loop exits at
+        the next poll and queued requests fail with
+        :class:`~repro.serve.futures.ServiceStopped`.
+        """
+        self._stopped = True
+        self._stopping.set()
+        if not drain:
+            self._abort.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request.future.set_exception(
+                ServiceStopped(
+                    f"service stopped before request "
+                    f"{request.request_id} was scheduled"
+                )
+            )
+        self._m_queue_depth.set(0)
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        queries: Sequence[GroupByQuery],
+        deadline_ms: Optional[float] = None,
+        client: str = "",
+    ) -> ServeFuture:
+        """Admit one request; returns its future immediately.
+
+        Queries are validated against the schema on the caller's thread,
+        so malformed requests fail fast without occupying queue capacity.
+        ``deadline_ms`` (default: the config's ``default_deadline_ms``)
+        bounds how long the request may wait in the queue.
+        """
+        if self._stopped:
+            raise ServiceStopped("the service has been stopped")
+        if not queries:
+            raise ValueError("a request needs at least one query")
+        for query in queries:
+            query.validate(self.db.schema)
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        now = time.monotonic()
+        request_id = next(self._request_ids)
+        request = ServeRequest(
+            request_id=request_id,
+            queries=list(queries),
+            future=ServeFuture(request_id),
+            submitted_s=now,
+            deadline_s=(
+                now + deadline_ms / 1000.0 if deadline_ms is not None else None
+            ),
+            client=client,
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats.n_rejected += 1
+            self._m_rejected.inc()
+            raise AdmissionError(
+                f"admission queue full ({self.config.max_queue_depth} "
+                f"request(s) waiting); retry later"
+            ) from None
+        self.stats.n_admitted += 1
+        self._m_admitted.inc()
+        self._m_queue_depth.set(self._queue.qsize())
+        return request.future
+
+    def submit_mdx(
+        self,
+        text: str,
+        deadline_ms: Optional[float] = None,
+        client: str = "",
+    ) -> ServeFuture:
+        """Translate one MDX expression and submit its component queries."""
+        from ..mdx import translate_mdx
+
+        queries = translate_mdx(self.db.schema, text)
+        return self.submit(queries, deadline_ms=deadline_ms, client=client)
+
+    # -- the scheduler loop ---------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._abort.is_set():
+            try:
+                first = self._queue.get(timeout=_POLL_S)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    break
+                continue
+            requests = [first]
+            window_ends = time.monotonic() + self.config.window_ms / 1000.0
+            while len(requests) < self.config.max_batch_requests:
+                remaining = window_ends - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    requests.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._m_queue_depth.set(self._queue.qsize())
+            self._run_batch(requests)
+
+    def _run_batch(self, requests: List[ServeRequest]) -> None:
+        now = time.monotonic()
+        live: List[ServeRequest] = []
+        for request in requests:
+            if request.expired(now):
+                waited_ms = (now - request.submitted_s) * 1000.0
+                self.stats.n_timed_out += 1
+                self._m_timed_out.inc()
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"request {request.request_id} waited "
+                        f"{waited_ms:.1f} ms, past its deadline"
+                    )
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        batch = assemble_batch(next(self._batch_ids), live)
+        try:
+            self._execute_batch(batch)
+        except BaseException as exc:  # noqa: BLE001 - routed to callers
+            self.stats.n_failed += len(live)
+            self._m_failed.inc(len(live))
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _execute_batch(self, batch: MicroBatch) -> None:
+        db = self.db
+        config = self.config
+        paranoia = bool(getattr(db, "paranoia", False))
+        cache = getattr(db, "result_cache", None)
+        hits: Dict[QueryKey, QueryResult] = {}
+        misses: List[GroupByQuery] = []
+        if cache is not None:
+            cache.sync(db.data_version)
+            for query in batch.distinct:
+                cached = cache.get(query)
+                if cached is None:
+                    misses.append(query)
+                else:
+                    hits[query_key(query)] = cached
+        else:
+            misses = list(batch.distinct)
+
+        sim_ms = 0.0
+        canonical: Dict[QueryKey, QueryResult] = dict(hits)
+        with db.tracer.span(
+            "serve.batch",
+            batch_id=batch.batch_id,
+            n_requests=batch.n_requests,
+            n_submitted=batch.n_submitted,
+            n_distinct=batch.n_distinct,
+            n_cache_hits=len(hits),
+        ) as span:
+            if misses:
+                plan = db.optimize(misses, config.algorithm)
+                if paranoia:
+                    from ..check.errors import (
+                        CorrectnessError,
+                        PlanValidationError,
+                    )
+                    from ..check.validate import validate_global_plan
+
+                    try:
+                        validate_global_plan(
+                            db.schema, db.catalog, plan, misses
+                        )
+                    except PlanValidationError as exc:
+                        raise CorrectnessError(
+                            f"{config.algorithm!r} produced a structurally "
+                            f"invalid plan for batch {batch.batch_id}: {exc}",
+                            plan=plan,
+                        ) from exc
+                if config.cold:
+                    execution = execute_plan_parallel(
+                        db, plan, n_workers=config.n_workers
+                    )
+                else:
+                    # Warm execution is order-dependent (classes share the
+                    # pool), so it stays serial.
+                    execution = db.execute(plan, cold=False)
+                sim_ms = execution.sim_ms
+                for result in execution.results.values():
+                    canonical[query_key(result.query)] = result
+                    if cache is not None:
+                        cache.put(result)
+            if hits and paranoia:
+                from ..check.paranoia import recheck_cache_hits
+
+                recheck_cache_hits(
+                    db, {hit.query.qid: hit for hit in hits.values()}
+                )
+            span.set("sim_ms", round(sim_ms, 3))
+
+        self._fan_out(batch, canonical, hits, sim_ms)
+
+    def _fan_out(
+        self,
+        batch: MicroBatch,
+        canonical: Dict[QueryKey, QueryResult],
+        hits: Dict[QueryKey, QueryResult],
+        sim_ms: float,
+    ) -> None:
+        now = time.monotonic()
+        responses: Dict[int, ServeResponse] = {}
+        for request in batch.requests:
+            responses[request.request_id] = ServeResponse(
+                request_id=request.request_id,
+                batch_id=batch.batch_id,
+                latency_s=now - request.submitted_s,
+            )
+        for key, pairs in batch.members.items():
+            result = canonical[key]
+            from_cache = key in hits
+            canonical_qid = result.query.qid
+            for request, twin in pairs:
+                response = responses[request.request_id]
+                # Each fan-out owns its groups dict: results are treated as
+                # owned values, never shared mutable state.
+                response.results[twin.qid] = QueryResult(
+                    query=twin, groups=dict(result.groups)
+                )
+                if from_cache:
+                    response.n_cache_hits += 1
+                elif twin.qid != canonical_qid:
+                    response.n_coalesced += 1
+        for request in batch.requests:
+            response = responses[request.request_id]
+            self._m_latency.observe(response.latency_s * 1000.0)
+            request.future.set_result(response)
+
+        n_planned = batch.n_distinct - len(hits)
+        stats = self.stats
+        stats.n_served += batch.n_requests
+        stats.n_batches += 1
+        stats.n_queries_submitted += batch.n_submitted
+        stats.n_queries_planned += n_planned
+        stats.n_cache_hits += len(hits)
+        stats.n_duplicates_eliminated += batch.n_duplicates_eliminated
+        stats.sim_ms_total += sim_ms
+        stats.batch_sizes.append(batch.n_requests)
+        self._m_served.inc(batch.n_requests)
+        self._m_batches.inc()
+        self._m_batch_requests.observe(batch.n_requests)
+        self._m_batch_queries.observe(batch.n_submitted)
+        self._m_batch_distinct.observe(batch.n_distinct)
+        self._m_batch_sim_ms.observe(sim_ms)
+        self._m_duplicates.inc(batch.n_duplicates_eliminated)
+        self._m_cache_hits.inc(len(hits))
+        self._m_queries_submitted.inc(batch.n_submitted)
+        self._m_queries_planned.inc(n_planned)
+        self._m_coalesce.set(stats.coalesce_ratio)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else (
+            "stopped" if self._stopped else "new"
+        )
+        return (
+            f"QueryService({state}, window={self.config.window_ms}ms, "
+            f"served={self.stats.n_served})"
+        )

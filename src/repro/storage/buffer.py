@@ -10,6 +10,7 @@ cold (:meth:`BufferPool.flush` reproduces that).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Tuple
 
@@ -32,6 +33,11 @@ class BufferPool:
     Pages themselves live in their table (there is no real disk); the pool
     tracks *which* pages are resident so that hits and misses — and therefore
     simulated I/O — are faithful to an LRU-managed real pool.
+
+    All frame-map accesses hold an internal lock: a pool reached from
+    several executor threads must neither corrupt its LRU ordering nor
+    lose hit/miss counts (the parallel class executor normally gives each
+    class a private pool, but nothing stops callers sharing one).
     """
 
     def __init__(self, stats: IOStats, capacity_pages: int = DEFAULT_POOL_PAGES):
@@ -40,6 +46,7 @@ class BufferPool:
         self.stats = stats
         self.capacity_pages = capacity_pages
         self._frames: OrderedDict[FrameKey, Page] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         metrics = default_registry()
@@ -65,35 +72,39 @@ class BufferPool:
     def get_page(self, table: "HeapTable", page_no: int, *, sequential: bool) -> Page:
         """Fetch a page through the pool, charging simulated I/O on a miss."""
         key = (table.table_id, page_no)
-        frame = self._frames.get(key)
-        if frame is not None:
-            self._frames.move_to_end(key)
-            self.hits += 1
-            self._hits_metric.inc()
-            self.stats.charge_buffer_hit()
-            return frame
-        self.misses += 1
-        self._misses_metric.inc()
-        page = table.page(page_no)
-        if sequential:
-            self.stats.charge_seq_read()
-        else:
-            self.stats.charge_rand_read()
-        self._admit(key, page)
-        return page
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self._frames.move_to_end(key)
+                self.hits += 1
+                self._hits_metric.inc()
+                self.stats.charge_buffer_hit()
+                return frame
+            self.misses += 1
+            self._misses_metric.inc()
+            page = table.page(page_no)
+            if sequential:
+                self.stats.charge_seq_read()
+            else:
+                self.stats.charge_rand_read()
+            self._admit(key, page)
+            return page
 
     def write_page(self, table: "HeapTable", page_no: int) -> None:
         """Account a page write (used when materializing aggregates)."""
-        self.stats.charge_write()
-        self._admit((table.table_id, page_no), table.page(page_no))
+        with self._lock:
+            self.stats.charge_write()
+            self._admit((table.table_id, page_no), table.page(page_no))
 
     def flush(self) -> None:
         """Drop every frame — the paper's 'flush both buffer pools' step."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     def resident(self, table: "HeapTable", page_no: int) -> bool:
         """Whether a page is currently cached (no charge, no LRU touch)."""
-        return (table.table_id, page_no) in self._frames
+        with self._lock:
+            return (table.table_id, page_no) in self._frames
 
     def _admit(self, key: FrameKey, page: Page) -> None:
         while len(self._frames) >= self.capacity_pages:

@@ -21,6 +21,7 @@ Rates are configurable so benchmarks can explore other hardware regimes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 
 
@@ -65,6 +66,13 @@ class IOStats:
 
     One instance is shared by a :class:`~repro.engine.database.Database`;
     the executor snapshots it before and after a plan to attribute cost.
+
+    Every mutation (the ``charge_*`` family, :meth:`merge_from`,
+    :meth:`reset`) and every consistent read (:meth:`snapshot`,
+    :meth:`delta_since`) holds an internal lock, so a clock shared across
+    the parallel class executor's worker threads cannot lose updates —
+    a bare ``+=`` on an attribute is a read-modify-write that interleaves
+    under the interpreter's thread switching.
     """
 
     seq_page_reads: int = 0
@@ -80,6 +88,9 @@ class IOStats:
     index_lookups: int = 0
     predicate_evals: int = 0
     rates: CostRates = field(default_factory=lambda: DEFAULT_RATES)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     _COUNTER_FIELDS = (
         "seq_page_reads",
@@ -100,51 +111,63 @@ class IOStats:
 
     def charge_seq_read(self, pages: int = 1) -> None:
         """Account sequential page reads."""
-        self.seq_page_reads += pages
+        with self._lock:
+            self.seq_page_reads += pages
 
     def charge_rand_read(self, pages: int = 1) -> None:
         """Account random page reads."""
-        self.rand_page_reads += pages
+        with self._lock:
+            self.rand_page_reads += pages
 
     def charge_write(self, pages: int = 1) -> None:
         """Account page writes."""
-        self.page_writes += pages
+        with self._lock:
+            self.page_writes += pages
 
     def charge_buffer_hit(self, pages: int = 1) -> None:
         """Account buffer-pool hits (no simulated cost)."""
-        self.buffer_hits += pages
+        with self._lock:
+            self.buffer_hits += pages
 
     def charge_hash_build(self, entries: int) -> None:
         """Account hash-table build entries."""
-        self.hash_builds += entries
+        with self._lock:
+            self.hash_builds += entries
 
     def charge_hash_probe(self, probes: int) -> None:
         """Account hash-table probes."""
-        self.hash_probes += probes
+        with self._lock:
+            self.hash_probes += probes
 
     def charge_tuple_copy(self, tuples: int) -> None:
         """Account result-tuple copies."""
-        self.tuple_copies += tuples
+        with self._lock:
+            self.tuple_copies += tuples
 
     def charge_agg_update(self, updates: int) -> None:
         """Account aggregate-accumulator updates."""
-        self.agg_updates += updates
+        with self._lock:
+            self.agg_updates += updates
 
     def charge_bitmap_words(self, words: int) -> None:
         """Account bitmap word operations."""
-        self.bitmap_word_ops += words
+        with self._lock:
+            self.bitmap_word_ops += words
 
     def charge_bitmap_test(self, tests: int) -> None:
         """Account per-tuple bitmap membership tests."""
-        self.bitmap_tests += tests
+        with self._lock:
+            self.bitmap_tests += tests
 
     def charge_index_lookup(self, lookups: int = 1) -> None:
         """Account join-index member lookups."""
-        self.index_lookups += lookups
+        with self._lock:
+            self.index_lookups += lookups
 
     def charge_predicate(self, evals: int) -> None:
         """Account per-tuple predicate evaluations."""
-        self.predicate_evals += evals
+        with self._lock:
+            self.predicate_evals += evals
 
     # -- reporting ----------------------------------------------------------
 
@@ -181,8 +204,9 @@ class IOStats:
     def snapshot(self) -> "IOStats":
         """Return an immutable-by-convention copy of the current counters."""
         copy = IOStats(rates=self.rates)
-        for name in self._COUNTER_FIELDS:
-            setattr(copy, name, getattr(self, name))
+        with self._lock:
+            for name in self._COUNTER_FIELDS:
+                setattr(copy, name, getattr(self, name))
         return copy
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
@@ -190,14 +214,34 @@ class IOStats:
         if earlier.rates is not self.rates and earlier.rates != self.rates:
             raise ValueError("cannot diff IOStats with different rates")
         diff = IOStats(rates=self.rates)
-        for name in self._COUNTER_FIELDS:
-            setattr(diff, name, getattr(self, name) - getattr(earlier, name))
+        with self._lock:
+            for name in self._COUNTER_FIELDS:
+                setattr(
+                    diff, name, getattr(self, name) - getattr(earlier, name)
+                )
         return diff
+
+    def merge_from(self, delta: "IOStats") -> None:
+        """Add another clock's counters into this one, atomically.
+
+        The parallel class executor runs each class against a private
+        clock and folds the finished deltas back into the database's
+        shared clock through here; one lock acquisition per class keeps
+        the merge cheap and exact no matter how the workers interleave.
+        """
+        if delta.rates is not self.rates and delta.rates != self.rates:
+            raise ValueError("cannot merge IOStats with different rates")
+        with self._lock:
+            for name in self._COUNTER_FIELDS:
+                setattr(
+                    self, name, getattr(self, name) + getattr(delta, name)
+                )
 
     def reset(self) -> None:
         """Zero all counters (the rates are kept)."""
-        for name in self._COUNTER_FIELDS:
-            setattr(self, name, 0)
+        with self._lock:
+            for name in self._COUNTER_FIELDS:
+                setattr(self, name, 0)
 
     def as_dict(self) -> dict:
         """Counters plus derived ms totals, for reporting."""

@@ -111,3 +111,64 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+SUBCOMMANDS = [
+    "info",
+    "run",
+    "compare",
+    "figures",
+    "explain",
+    "calibrate",
+    "bench",
+    "serve",
+    "report",
+    "select-views",
+]
+
+
+class TestHelp:
+    """Every subcommand must answer ``--help`` with usage text, exit 0."""
+
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in SUBCOMMANDS:
+            assert command in out
+
+    @pytest.mark.parametrize("command", SUBCOMMANDS)
+    def test_subcommand_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+        assert command in out
+
+
+class TestServe:
+    def test_simulate_small_run(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--simulate",
+                "--clients", "4",
+                "--requests", "1",
+                "--window", "5",
+                *SCALE,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve simulation" in out
+        assert "coalesce ratio" in out
+        assert "cheaper" in out
+
+    def test_serve_requires_simulate(self, capsys):
+        assert main(["serve", *SCALE]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_clients(self, capsys):
+        assert main(["serve", "--simulate", "--clients", "0", *SCALE]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Access-ordered LRU semantics and metrics export of the ResultCache.
+
+The cache must evict the *least recently used* entry — a hit refreshes the
+entry's recency, so hot dashboard queries survive while one-offs age out —
+and must report occupancy, evictions, and hit rate through the metrics
+registry so the serve layer can surface cache health.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators.results import QueryResult
+from repro.engine.result_cache import ResultCache, attach_cache
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.schema.query import DimPredicate, GroupBy, GroupByQuery
+
+from helpers import make_tiny_db
+
+
+@pytest.fixture()
+def registry():
+    """Isolate each test in a fresh default metrics registry."""
+    fresh = MetricsRegistry()
+    previous = set_default_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_default_registry(previous)
+
+
+def make_query(member: int) -> GroupByQuery:
+    """Distinct semantic identity per ``member`` (predicates are part of
+    the cache key)."""
+    return GroupByQuery(
+        groupby=GroupBy((1, 1)),
+        predicates=(DimPredicate(0, 0, frozenset({member})),),
+        label=f"q{member}",
+    )
+
+
+def make_result(member: int) -> QueryResult:
+    return QueryResult(query=make_query(member), groups={(0, 0): float(member)})
+
+
+class TestLRUEviction:
+    def test_eviction_drops_least_recently_used_not_first_inserted(
+        self, registry
+    ):
+        cache = ResultCache(max_entries=3)
+        for member in (0, 1, 2):
+            cache.put(make_result(member))
+        # Touch the oldest entry: under FIFO it would still be evicted
+        # next; under LRU the untouched entry 1 is now the victim.
+        assert cache.get(make_query(0)) is not None
+        cache.put(make_result(3))
+        assert len(cache) == 3
+        assert cache.get(make_query(0)) is not None
+        assert cache.get(make_query(1)) is None
+        assert cache.get(make_query(2)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self, registry):
+        cache = ResultCache(max_entries=2)
+        cache.put(make_result(0))
+        cache.put(make_result(1))
+        cache.put(make_result(0))  # re-insert: 1 becomes the LRU entry
+        cache.put(make_result(2))
+        assert cache.get(make_query(0)) is not None
+        assert cache.get(make_query(1)) is None
+
+    def test_eviction_cascade_keeps_bound(self, registry):
+        cache = ResultCache(max_entries=4)
+        for member in range(20):
+            cache.put(make_result(member))
+            assert len(cache) <= 4
+        assert cache.stats.evictions == 16
+        # Exactly the 4 most recent entries survive.
+        for member in range(16):
+            assert cache.get(make_query(member)) is None
+        for member in range(16, 20):
+            assert cache.get(make_query(member)) is not None
+
+    def test_replacing_existing_entry_does_not_evict(self, registry):
+        cache = ResultCache(max_entries=2)
+        cache.put(make_result(0))
+        cache.put(make_result(1))
+        cache.put(make_result(1))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+
+    def test_rejects_nonpositive_capacity(self, registry):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestCacheMetrics:
+    def test_counters_and_gauges_track_cache_activity(self, registry):
+        cache = ResultCache(max_entries=2)
+        cache.get(make_query(0))  # miss
+        cache.put(make_result(0))
+        cache.get(make_query(0))  # hit
+        cache.put(make_result(1))
+        # Entry 0 was refreshed by the hit, so this evicts entry 1.
+        cache.put(make_result(2))
+        assert registry.get("result_cache.hits").value == 1
+        assert registry.get("result_cache.misses").value == 1
+        assert registry.get("result_cache.evictions").value == 1
+        assert registry.get("result_cache.occupancy").value == 2
+        assert registry.get("result_cache.hit_rate").value == pytest.approx(
+            0.5
+        )
+
+    def test_invalidation_zeroes_occupancy(self, registry):
+        cache = ResultCache(max_entries=4)
+        cache.put(make_result(0))
+        cache.put(make_result(1))
+        cache.invalidate()
+        assert registry.get("result_cache.invalidations").value == 1
+        assert registry.get("result_cache.occupancy").value == 0
+        assert len(cache) == 0
+
+    def test_hit_rate_matches_stats_property(self, registry):
+        cache = ResultCache(max_entries=4)
+        cache.put(make_result(0))
+        for _ in range(3):
+            cache.get(make_query(0))
+        cache.get(make_query(9))
+        assert cache.stats.hit_rate == pytest.approx(0.75)
+        assert registry.get("result_cache.hit_rate").value == pytest.approx(
+            cache.stats.hit_rate
+        )
+
+
+class TestAttachedCacheLRU:
+    def test_attached_cache_evicts_lru_under_load(self, registry):
+        db = make_tiny_db(n_rows=120)
+        cache = attach_cache(db, max_entries=2)
+        hot = make_query(0)
+        for member in (0, 1, 2, 3):
+            db.run_queries([make_query(member)], "gg")
+            # Keep the hot query recent so it survives every eviction.
+            db.run_queries([hot], "gg")
+        assert cache.stats.evictions > 0
+        hits_before = cache.stats.hits
+        db.run_queries([hot], "gg")
+        assert cache.stats.hits == hits_before + 1
