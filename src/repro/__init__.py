@@ -44,6 +44,13 @@ from .core import (
     make_optimizer,
 )
 from .engine import Database, evaluate_reference, to_sql
+from .faults import (
+    FaultPlan,
+    InjectedFault,
+    InjectionPoint,
+    PartialResultError,
+    parse_fault_plan,
+)
 from .obs import MetricsRegistry, Span, Tracer, default_registry
 from .schema import (
     Aggregate,
@@ -69,7 +76,12 @@ __all__ = [
     "DimPredicate",
     "Dimension",
     "ExecutionReport",
+    "FaultPlan",
     "GlobalPlan",
+    "InjectedFault",
+    "InjectionPoint",
+    "PartialResultError",
+    "parse_fault_plan",
     "GroupBy",
     "GroupByQuery",
     "IOStats",

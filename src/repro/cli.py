@@ -258,6 +258,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip cross-checking every response against serial execution",
     )
+    serve.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault plan armed during the service run, e.g. "
+        "'storage.scan:table=ABCD,nth=1;index.lookup:p=0.05' "
+        "(see docs/resilience.md for the grammar)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for probabilistic fault triggers (default 0)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="max execution attempts per micro-batch before degraded "
+        "replanning (default 3)",
+    )
+    serve.add_argument(
+        "--backoff", type=float, default=50.0, metavar="MS",
+        help="base retry backoff on the simulated clock (default 50)",
+    )
+    serve.add_argument(
+        "--no-degrade", action="store_true",
+        help="disable per-query raw-table fallback; still-failing queries "
+        "are quarantined instead",
+    )
 
     report_cmd = sub.add_parser(
         "report", help="run every paper experiment; emit a markdown report"
@@ -471,6 +495,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("pass --simulate (the only serve mode available)")
     if args.clients <= 0 or args.requests <= 0:
         raise CliError("--clients and --requests must be positive")
+    if args.retries < 1:
+        raise CliError("--retries must be >= 1")
+    fault_plan = None
+    if args.faults:
+        from .faults import parse_fault_plan
+
+        try:
+            fault_plan = parse_fault_plan(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            raise CliError(f"bad --faults spec: {exc}") from exc
     db = build_paper_database(scale=args.scale)
     if args.cache:
         attach_cache(db)
@@ -484,6 +518,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         preload=not args.arrivals,
         verify=not args.no_verify,
+        faults=fault_plan,
+        max_attempts=args.retries,
+        backoff_base_ms=args.backoff,
+        degrade=not args.no_degrade,
     )
     print(
         f"simulating {config.n_clients} client(s) x "
@@ -491,11 +529,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{config.window_ms:g} ms, {config.n_workers} worker(s), "
         f"algorithm {config.algorithm}"
         + (" (result cache attached)" if args.cache else "")
+        + (f" (faults armed: {fault_plan.describe()})" if fault_plan else "")
     )
     report = run_simulation(db, config)
     print()
     print(report.render())
-    if report.batched_sim_ms >= report.serial_sim_ms:
+    if fault_plan is None and report.batched_sim_ms >= report.serial_sim_ms:
+        # Under injected faults the batched cost legitimately includes
+        # retries and degraded replans, so the sharing gate is waived.
         print(
             "\nbatched execution did not beat serial execution; widen the "
             "window or raise --overlap",

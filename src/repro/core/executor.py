@@ -20,6 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..faults import InjectedFault, PartialResultError
 from ..obs.analyze import OperatorActuals, q_error
 from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
@@ -66,11 +67,40 @@ class ClassExecution:
 
 
 @dataclass
+class ClassFailure:
+    """One class that failed mid-execution (fault isolation kept siblings).
+
+    ``sim`` holds the cost charged *before* the failure — real work the
+    clock already accounted — so reports stay truthful about spend even
+    for aborted classes."""
+
+    plan_class: PlanClass
+    error: BaseException
+    sim: IOStats
+    wall_s: float
+
+    @property
+    def qids(self) -> List[int]:
+        """The qids whose results this failure took down."""
+        return [q.qid for q in self.plan_class.queries]
+
+    @property
+    def sim_ms(self) -> float:
+        """Simulated milliseconds charged before the class aborted."""
+        return self.sim.total_ms
+
+
+@dataclass
 class ExecutionReport:
-    """The measured execution of a whole global plan."""
+    """The measured execution of a whole global plan.
+
+    ``failures`` lists classes that aborted on an
+    :class:`~repro.faults.InjectedFault`; their sibling classes'
+    executions are unaffected and byte-identical to a fault-free run."""
 
     plan: GlobalPlan
     class_executions: List[ClassExecution] = field(default_factory=list)
+    failures: List[ClassFailure] = field(default_factory=list)
 
     @property
     def results(self) -> Dict[int, QueryResult]:
@@ -81,44 +111,69 @@ class ExecutionReport:
                 out[result.query.qid] = result
         return out
 
+    @property
+    def failed_qids(self) -> List[int]:
+        """Sorted qids of every query whose class failed."""
+        return sorted({qid for f in self.failures for qid in f.qids})
+
     def result_for(self, query: GroupByQuery) -> QueryResult:
         """The result of one submitted query, by its qid.
 
-        Raises :class:`~repro.check.errors.PlanCoverageError` (a KeyError
-        subclass) naming the query when the plan never covered it — an
+        Raises :class:`~repro.faults.PartialResultError` when the plan
+        covered the query but its class failed mid-execution (the report is
+        partial), and :class:`~repro.check.errors.PlanCoverageError` when
+        the plan never covered it at all — both KeyError subclasses, so an
         empty or degenerate plan must not fail with a bare ``KeyError``.
         """
         results = self.results
         try:
             return results[query.qid]
         except KeyError:
-            from ..check.errors import PlanCoverageError
+            pass
+        for failure in self.failures:
+            if query.qid in failure.qids:
+                raise PartialResultError(
+                    f"no result for {query.display_name()} (qid "
+                    f"{query.qid}): its class over {failure.plan_class.source!r}"
+                    f" failed mid-execution ({failure.error}); "
+                    f"{len(results)} sibling result(s) survived"
+                ) from failure.error
+        from ..check.errors import PlanCoverageError
 
-            raise PlanCoverageError(
-                f"no result for {query.display_name()} (qid {query.qid}): "
-                f"the {self.plan.algorithm!r} plan placed it in no class "
-                f"(covered qids: {sorted(results) or 'none'})"
-            ) from None
+        raise PlanCoverageError(
+            f"no result for {query.display_name()} (qid {query.qid}): "
+            f"the {self.plan.algorithm!r} plan placed it in no class "
+            f"(covered qids: {sorted(results) or 'none'})"
+        ) from None
 
     @property
     def sim_ms(self) -> float:
-        """Total simulated milliseconds (I/O + CPU)."""
-        return sum(e.sim_ms for e in self.class_executions)
+        """Total simulated milliseconds (I/O + CPU), including the partial
+        cost charged by classes that later failed."""
+        return sum(e.sim_ms for e in self.class_executions) + sum(
+            f.sim_ms for f in self.failures
+        )
 
     @property
     def sim_io_ms(self) -> float:
         """Simulated I/O milliseconds."""
-        return sum(e.sim.io_ms for e in self.class_executions)
+        return sum(e.sim.io_ms for e in self.class_executions) + sum(
+            f.sim.io_ms for f in self.failures
+        )
 
     @property
     def sim_cpu_ms(self) -> float:
         """Simulated CPU milliseconds."""
-        return sum(e.sim.cpu_ms for e in self.class_executions)
+        return sum(e.sim.cpu_ms for e in self.class_executions) + sum(
+            f.sim.cpu_ms for f in self.failures
+        )
 
     @property
     def wall_s(self) -> float:
         """Measured wall-clock seconds."""
-        return sum(e.wall_s for e in self.class_executions)
+        return sum(e.wall_s for e in self.class_executions) + sum(
+            f.wall_s for f in self.failures
+        )
 
     @property
     def est_ms(self) -> float:
@@ -132,12 +187,18 @@ class ExecutionReport:
 
     def summary(self) -> str:
         """One-line summary for logs and console output."""
+        failed = ""
+        if self.failures:
+            failed = (
+                f", {len(self.failures)} class(es) FAILED "
+                f"(qids {self.failed_qids})"
+            )
         return (
             f"{self.plan.algorithm}: {self.plan.n_queries} queries, "
             f"{len(self.class_executions)} class(es), "
             f"sim {self.sim_ms:.1f} ms "
             f"(io {self.sim_io_ms:.1f} + cpu {self.sim_cpu_ms:.1f}), "
-            f"wall {self.wall_s * 1000:.1f} ms"
+            f"wall {self.wall_s * 1000:.1f} ms{failed}"
         )
 
     def explain_analyze(self, schema, catalog) -> str:
@@ -317,6 +378,7 @@ def execute_plan(
         for plan_class in plan.classes:
             if cold:
                 db.flush()
+            failure: Optional[ClassFailure] = None
             with ctx.tracer.span(
                 "execute.class",
                 source=plan_class.source,
@@ -325,11 +387,43 @@ def execute_plan(
             ) as span:
                 before = db.stats.snapshot()
                 started = time.perf_counter()
-                results, actuals = run_class_accounted(ctx, plan_class)
-                wall_s = time.perf_counter() - started
-                delta = db.stats.delta_since(before)
-                span.set("sim_ms", round(delta.total_ms, 3))
-                span.set("est_ms", round(plan_class.est_cost_ms, 3))
+                try:
+                    results, actuals = run_class_accounted(ctx, plan_class)
+                except InjectedFault as exc:
+                    # Fault isolation: this class is lost, siblings proceed.
+                    wall_s = time.perf_counter() - started
+                    delta = db.stats.delta_since(before)
+                    failure = ClassFailure(
+                        plan_class=plan_class,
+                        error=exc,
+                        sim=delta,
+                        wall_s=wall_s,
+                    )
+                    span.set("failed", True)
+                    span.set("error", str(exc))
+                else:
+                    wall_s = time.perf_counter() - started
+                    delta = db.stats.delta_since(before)
+                    span.set("sim_ms", round(delta.total_ms, 3))
+                    span.set("est_ms", round(plan_class.est_cost_ms, 3))
+            if failure is not None:
+                with ctx.tracer.span(
+                    "fault.class_failure",
+                    source=plan_class.source,
+                    n_queries=len(plan_class.queries),
+                    error=str(failure.error),
+                ):
+                    pass
+                metrics.counter(
+                    "executor.class_failures",
+                    "plan classes aborted by an injected fault",
+                ).inc()
+                report.failures.append(failure)
+                if cold:
+                    # Drop whatever the aborted class admitted so the next
+                    # class still starts from an empty pool.
+                    db.flush()
+                continue
             classes_counter.inc()
             queries_counter.inc(len(plan_class.queries))
             if paranoia:
@@ -354,6 +448,23 @@ def execute_plan(
     return report
 
 
+def _isolated_context(db: "Database") -> ExecContext:
+    """A private cold ExecContext: fresh pool + clock, shared read-only
+    catalog/schema, and the database's armed fault plan (if any)."""
+    stats = IOStats(rates=db.stats.rates)
+    pool = BufferPool(stats, capacity_pages=db.pool.capacity_pages)
+    faults = getattr(db, "faults", None)
+    pool.faults = faults
+    return ExecContext(
+        schema=db.schema,
+        catalog=db.catalog,
+        pool=pool,
+        stats=stats,
+        dim_tables=db.dimension_tables or None,
+        faults=faults,
+    )
+
+
 def run_class_isolated(db: "Database", plan_class: PlanClass) -> ClassExecution:
     """Execute one class in a private cold context: its own buffer pool and
     its own cost clock, sharing only the (read-only) catalog and schema.
@@ -365,24 +476,45 @@ def run_class_isolated(db: "Database", plan_class: PlanClass) -> ClassExecution:
     interleaving cannot perturb either.  The tracer is deliberately not
     threaded through: spans nest on a per-tracer stack that is not safe to
     grow from several threads at once.
+
+    An :class:`~repro.faults.InjectedFault` propagates to the caller; the
+    parallel executor wraps this in :func:`_run_class_guarded` to convert
+    it into a :class:`ClassFailure` instead.
     """
-    stats = IOStats(rates=db.stats.rates)
-    pool = BufferPool(stats, capacity_pages=db.pool.capacity_pages)
-    ctx = ExecContext(
-        schema=db.schema,
-        catalog=db.catalog,
-        pool=pool,
-        stats=stats,
-        dim_tables=db.dimension_tables or None,
-    )
+    ctx = _isolated_context(db)
     started = time.perf_counter()
     results, actuals = run_class_accounted(ctx, plan_class)
     wall_s = time.perf_counter() - started
     return ClassExecution(
         plan_class=plan_class,
         results=results,
-        sim=stats,
+        sim=ctx.stats,
         wall_s=wall_s,
+        actuals=actuals,
+    )
+
+
+def _run_class_guarded(
+    db: "Database", plan_class: PlanClass
+) -> "ClassExecution | ClassFailure":
+    """Like :func:`run_class_isolated`, but an injected fault becomes a
+    :class:`ClassFailure` carrying the cost charged before the abort."""
+    ctx = _isolated_context(db)
+    started = time.perf_counter()
+    try:
+        results, actuals = run_class_accounted(ctx, plan_class)
+    except InjectedFault as exc:
+        return ClassFailure(
+            plan_class=plan_class,
+            error=exc,
+            sim=ctx.stats,
+            wall_s=time.perf_counter() - started,
+        )
+    return ClassExecution(
+        plan_class=plan_class,
+        results=results,
+        sim=ctx.stats,
+        wall_s=time.perf_counter() - started,
         actuals=actuals,
     )
 
@@ -435,27 +567,41 @@ def execute_plan_parallel(
         if not classes:
             return report
         if len(classes) == 1 or n_workers == 1:
-            executions = [run_class_isolated(db, pc) for pc in classes]
+            outcomes = [_run_class_guarded(db, pc) for pc in classes]
         else:
             with ThreadPoolExecutor(
                 max_workers=min(n_workers, len(classes))
             ) as workers:
-                executions = list(
-                    workers.map(lambda pc: run_class_isolated(db, pc), classes)
+                outcomes = list(
+                    workers.map(lambda pc: _run_class_guarded(db, pc), classes)
                 )
-        for execution in executions:
-            db.stats.merge_from(execution.sim)
+        for outcome in outcomes:
+            db.stats.merge_from(outcome.sim)
+            if isinstance(outcome, ClassFailure):
+                with db.tracer.span(
+                    "fault.class_failure",
+                    source=outcome.plan_class.source,
+                    n_queries=len(outcome.plan_class.queries),
+                    error=str(outcome.error),
+                ):
+                    pass
+                metrics.counter(
+                    "executor.class_failures",
+                    "plan classes aborted by an injected fault",
+                ).inc()
+                report.failures.append(outcome)
+                continue
             classes_counter.inc()
-            queries_counter.inc(len(execution.plan_class.queries))
+            queries_counter.inc(len(outcome.plan_class.queries))
             if paranoia:
                 from ..check.paranoia import check_results
 
                 with db.tracer.span(
                     "check.class",
-                    source=execution.plan_class.source,
-                    n_results=len(execution.results),
+                    source=outcome.plan_class.source,
+                    n_results=len(outcome.results),
                 ) as check_span:
-                    checked = check_results(db, execution.results, plan=plan)
+                    checked = check_results(db, outcome.results, plan=plan)
                     check_span.set("n_checked", checked)
-            report.class_executions.append(execution)
+            report.class_executions.append(outcome)
     return report

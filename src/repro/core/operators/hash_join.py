@@ -66,6 +66,12 @@ class SharedScanHashStarJoin:
         n_dims = ctx.schema.n_dims
         actuals = self.actuals
         for page in self.source.table.scan_pages(ctx.pool):
+            if ctx.faults is not None:
+                ctx.faults.check(
+                    "operator.pipeline",
+                    operator=type(self).__name__,
+                    table=self.source.name,
+                )
             keys, measures = page_columns(page, n_dims)
             actuals.pages_scanned += 1
             actuals.rows_scanned += len(page.rows)

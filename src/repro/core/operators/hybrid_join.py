@@ -99,6 +99,12 @@ class SharedHybridStarJoin:
         )
         # Phase 2: one shared sequential scan feeds everybody.
         for page in self.source.table.scan_pages(ctx.pool):
+            if ctx.faults is not None:
+                ctx.faults.check(
+                    "operator.pipeline",
+                    operator=type(self).__name__,
+                    table=self.source.name,
+                )
             keys, measures = page_columns(page, n_dims)
             actuals.pages_scanned += 1
             actuals.rows_scanned += len(page.rows)

@@ -82,7 +82,7 @@ def query_result_bitmap(
         if found is None:
             continue
         index, members = found
-        per_dim.append(index.lookup(members, ctx.stats))
+        per_dim.append(index.lookup(members, ctx.stats, faults=ctx.faults))
     if not per_dim:
         raise MissingIndexError(
             f"table {entry.name!r} has no join index usable by any "
@@ -143,6 +143,12 @@ class IndexStarJoin:
         actuals.union_popcount = int(bitmap.count())
         actuals.probes_issued = int(positions.size)
         actuals.bitmap_popcounts[self.query.qid] = int(bitmap.count())
+        if ctx.faults is not None:
+            ctx.faults.check(
+                "operator.pipeline",
+                operator=type(self).__name__,
+                table=self.source.name,
+            )
         keys, measures = _probe_and_collect(ctx, self.source, positions)
         rollups = RollupCache(
             ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
@@ -227,6 +233,12 @@ class SharedIndexStarJoin:
         )
         results: List[QueryResult] = []
         for query, bitmap in zip(self.queries, per_query):
+            if ctx.faults is not None:
+                ctx.faults.check(
+                    "operator.pipeline",
+                    operator=type(self).__name__,
+                    table=self.source.name,
+                )
             ctx.stats.charge_bitmap_test(positions.size)
             routed.inc(int(positions.size))
             mine = bitmap.to_bool_array()[positions] if positions.size else (

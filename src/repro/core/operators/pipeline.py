@@ -41,6 +41,10 @@ class ExecContext:
 
     ``tracer`` receives execution spans; the default no-op tracer makes
     untraced runs free (see :mod:`repro.obs.trace`).
+
+    ``faults`` carries an armed :class:`repro.faults.FaultPlan` (or None);
+    operators pass it to index lookups and check the ``operator.pipeline``
+    site per page batch.
     """
 
     schema: StarSchema
@@ -49,6 +53,7 @@ class ExecContext:
     stats: IOStats
     dim_tables: Optional[Dict[str, object]] = None
     tracer: object = field(default=NULL_TRACER)
+    faults: Optional[object] = None
 
     def entry(self, table_name: str) -> TableEntry:
         """Catalog entry by table name."""

@@ -73,6 +73,9 @@ class Database:
         self.tracer = NULL_TRACER
         #: Root span of the most recent finished :meth:`trace` block.
         self.last_trace: Optional[Span] = None
+        #: Armed :class:`repro.faults.FaultPlan` (see :meth:`arm_faults`),
+        #: or None when fault injection is off.
+        self.faults = None
 
     # -- loading and precomputation -------------------------------------------
 
@@ -262,7 +265,23 @@ class Database:
             stats=self.stats,
             dim_tables=self.dimension_tables or None,
             tracer=self.tracer,
+            faults=self.faults,
         )
+
+    def arm_faults(self, plan) -> None:
+        """Arm a :class:`repro.faults.FaultPlan` for subsequent execution.
+
+        The plan is threaded into every execution context this database
+        builds (including the parallel executor's isolated per-class
+        contexts) and into the shared buffer pool, so all four injection
+        sites see it.  Pass None — or call :meth:`disarm_faults` — to turn
+        injection back off."""
+        self.faults = plan
+        self.pool.faults = plan
+
+    def disarm_faults(self) -> None:
+        """Turn fault injection off (idempotent)."""
+        self.arm_faults(None)
 
     @contextmanager
     def trace(

@@ -195,8 +195,15 @@ def attach_cache(db, max_entries: int = 256) -> ResultCache:
                 hits[query.qid] = cached
         if misses:
             report = original_run(misses, algorithm=algorithm, cold=cold)
-            for result in report.results.values():
-                cache.put(result)
+            # A partially-failed execution (fault-isolated class failures)
+            # must leave no trace in the cache: its surviving results are
+            # correct, but retaining them would make a later identical
+            # batch silently skip re-executing — and therefore skip
+            # re-surfacing the typed error — for the failed queries'
+            # batchmates.  Only fully-clean executions are retained.
+            if not getattr(report, "failures", None):
+                for result in report.results.values():
+                    cache.put(result)
         else:
             # Nothing to execute: synthesize an empty report around an
             # empty plan so callers keep a uniform interface.  The wrapper

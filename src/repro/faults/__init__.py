@@ -1,0 +1,21 @@
+"""Deterministic fault injection (see :mod:`repro.faults.plan`)."""
+
+from .plan import (
+    SITES,
+    FaultEvent,
+    FaultPlan,
+    InjectedFault,
+    InjectionPoint,
+    PartialResultError,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectionPoint",
+    "PartialResultError",
+    "parse_fault_plan",
+]

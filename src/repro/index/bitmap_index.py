@@ -38,9 +38,23 @@ class JoinIndex(ABC):
         self.n_rows = n_rows
 
     @abstractmethod
-    def lookup(self, member_ids: Iterable[int], stats: IOStats) -> Bitmap:
+    def lookup(
+        self, member_ids: Iterable[int], stats: IOStats, *, faults=None
+    ) -> Bitmap:
         """Return the bitmap of rows whose dimension value (rolled up to this
-        index's level) is one of ``member_ids``, charging index I/O + CPU."""
+        index's level) is one of ``member_ids``, charging index I/O + CPU.
+        An armed ``faults`` plan is checked (site ``index.lookup``) before
+        any cost is charged."""
+
+    def _check_faults(self, faults, n_members: int) -> None:
+        if faults is not None:
+            faults.check(
+                "index.lookup",
+                table=self.table_name,
+                dim_index=self.dim_index,
+                level=self.level,
+                n_members=n_members,
+            )
 
     @property
     @abstractmethod
@@ -118,9 +132,12 @@ class BitmapJoinIndex(JoinIndex):
         bm = self._bitmaps.get(member_id)
         return bm.copy() if bm is not None else Bitmap.zeros(self.n_rows)
 
-    def lookup(self, member_ids: Iterable[int], stats: IOStats) -> Bitmap:
+    def lookup(
+        self, member_ids: Iterable[int], stats: IOStats, *, faults=None
+    ) -> Bitmap:
         """Bitmap of rows whose key rolls into the given members (charges the clock)."""
         members = list(member_ids)
+        self._check_faults(faults, len(members))
         stats.charge_index_lookup(len(members))
         # Retrieving each member's bitmap streams its pages.
         stats.charge_seq_read(self.pages_per_lookup(len(members)))

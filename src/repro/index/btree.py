@@ -98,9 +98,12 @@ class PositionListJoinIndex(JoinIndex):
         """The raw RID list for one member (empty if absent)."""
         return self._rid_lists.get(member_id, np.empty(0, dtype=np.int64)).copy()
 
-    def lookup(self, member_ids: Iterable[int], stats: IOStats) -> Bitmap:
+    def lookup(
+        self, member_ids: Iterable[int], stats: IOStats, *, faults=None
+    ) -> Bitmap:
         """Bitmap of rows whose key rolls into the given members (charges the clock)."""
         members = list(member_ids)
+        self._check_faults(faults, len(members))
         stats.charge_index_lookup(len(members))
         all_rids: list[np.ndarray] = []
         for member in members:

@@ -23,11 +23,13 @@ from .batching import MicroBatch, ServeConfig, ServeRequest, assemble_batch
 from .futures import (
     AdmissionError,
     DeadlineExceeded,
+    RequestQuarantined,
     ServeError,
     ServeFuture,
     ServeResponse,
     ServiceStopped,
 )
+from .retry import RetryExhausted, RetryPolicy, SimulatedClock, call_with_retry
 from .service import QueryService, ServiceStats
 from .simulate import SimulationConfig, SimulationReport, run_simulation
 
@@ -36,6 +38,9 @@ __all__ = [
     "DeadlineExceeded",
     "MicroBatch",
     "QueryService",
+    "RequestQuarantined",
+    "RetryExhausted",
+    "RetryPolicy",
     "ServeConfig",
     "ServeError",
     "ServeFuture",
@@ -43,8 +48,10 @@ __all__ = [
     "ServeResponse",
     "ServiceStats",
     "ServiceStopped",
+    "SimulatedClock",
     "SimulationConfig",
     "SimulationReport",
     "assemble_batch",
+    "call_with_retry",
     "run_simulation",
 ]

@@ -41,6 +41,14 @@ class ServeConfig:
     do not bring their own.  ``cold`` keeps the paper's cold-start
     measurement discipline; warm execution is order-dependent, so it
     forces serial class execution.
+
+    Resilience knobs (see ``docs/resilience.md``): ``max_attempts`` bounds
+    how many times a failed shared-plan execution is retried before the
+    still-failing queries fall through to degraded replanning;
+    ``backoff_base_ms`` / ``backoff_multiplier`` shape the deterministic
+    exponential backoff charged to the simulated clock between attempts;
+    ``degrade`` enables the per-query raw-base-table fallback for queries
+    whose shared class keeps failing.
     """
 
     window_ms: float = 10.0
@@ -50,8 +58,25 @@ class ServeConfig:
     algorithm: str = "gg"
     cold: bool = True
     default_deadline_ms: Optional[float] = None
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    backoff_multiplier: float = 2.0
+    degrade: bool = True
 
     def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1 (got {self.max_attempts})"
+            )
+        if self.backoff_base_ms < 0:
+            raise ValueError(
+                f"backoff_base_ms must be >= 0 (got {self.backoff_base_ms})"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1 "
+                f"(got {self.backoff_multiplier})"
+            )
         if self.window_ms < 0:
             raise ValueError(f"window_ms must be >= 0 (got {self.window_ms})")
         if self.max_batch_requests <= 0:

@@ -16,6 +16,9 @@ Error taxonomy (all subclasses of :class:`ServeError`):
   still queued; it is failed without being planned or executed.
 * :class:`ServiceStopped` — the service shut down (without draining) while
   the request was in flight.
+* :class:`RequestQuarantined` — the request's queries kept failing after
+  every retry (and, when enabled, degraded replanning); it is failed alone
+  while its batchmates complete.
 """
 
 from __future__ import annotations
@@ -42,6 +45,22 @@ class DeadlineExceeded(ServeError, TimeoutError):
 
 class ServiceStopped(ServeError):
     """The service stopped (without draining) before answering."""
+
+
+class RequestQuarantined(ServeError):
+    """The request's queries exhausted every recovery path.
+
+    Carries the underlying error (usually an
+    :class:`~repro.faults.InjectedFault` wrapped in a
+    :class:`~repro.serve.retry.RetryExhausted`) and the offending qids, so
+    the caller can tell exactly which of its queries poisoned the request.
+    Batchmates whose queries succeeded are unaffected.
+    """
+
+    def __init__(self, message: str, qids=(), cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.qids = tuple(qids)
+        self.cause = cause
 
 
 @dataclass
@@ -101,6 +120,24 @@ class ServeFuture:
             )
         self._exception = exc
         self._event.set()
+
+    def try_set_result(self, response: ServeResponse) -> bool:
+        """Resolve with a response unless already resolved; returns whether
+        this call won.  The scheduler uses this on paths where a request
+        may legitimately have been failed already (deadline expiry during
+        execution, quarantine) — losing the race must not crash the loop."""
+        if self._event.is_set():
+            return False
+        self.set_result(response)
+        return True
+
+    def try_set_exception(self, exc: BaseException) -> bool:
+        """Resolve with an error unless already resolved; returns whether
+        this call won (see :meth:`try_set_result`)."""
+        if self._event.is_set():
+            return False
+        self.set_exception(exc)
+        return True
 
     def result(self, timeout: Optional[float] = None) -> ServeResponse:
         """Block until resolved; return the response or raise the error.

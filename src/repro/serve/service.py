@@ -38,20 +38,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.executor import execute_plan_parallel
+from ..core.executor import ExecutionReport, execute_plan_parallel
 from ..core.operators.results import QueryResult
 from ..engine.database import Database
 from ..engine.session import QueryKey, query_key
+from ..faults import InjectedFault
 from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
 from .batching import MicroBatch, ServeConfig, ServeRequest, assemble_batch
 from .futures import (
     AdmissionError,
     DeadlineExceeded,
+    RequestQuarantined,
     ServeFuture,
     ServeResponse,
     ServiceStopped,
 )
+from .retry import RetryExhausted, RetryPolicy, SimulatedClock, call_with_retry
 
 #: How often the idle scheduler wakes to check for shutdown.
 _POLL_S = 0.02
@@ -66,8 +69,13 @@ class ServiceStats:
     n_rejected: int = 0
     n_timed_out: int = 0
     n_failed: int = 0
+    n_quarantined: int = 0
     n_served: int = 0
     n_batches: int = 0
+    #: Executions retried after a fault-injected class failure.
+    n_retries: int = 0
+    #: Queries answered by the degraded raw-base-table fallback.
+    n_degraded: int = 0
     n_queries_submitted: int = 0
     n_queries_planned: int = 0
     n_cache_hits: int = 0
@@ -116,6 +124,13 @@ class QueryService:
         self._stopping = threading.Event()
         self._abort = threading.Event()
         self._stopped = False
+        #: Simulated clock charged by retry backoff (never wall sleeps).
+        self.sim_clock = SimulatedClock()
+        self._retry_policy = RetryPolicy(
+            max_attempts=self.config.max_attempts,
+            backoff_base_ms=self.config.backoff_base_ms,
+            backoff_multiplier=self.config.backoff_multiplier,
+        )
         metrics = default_registry()
         self._m_admitted = metrics.counter(
             "serve.requests_admitted", "requests accepted into the queue"
@@ -170,6 +185,18 @@ class QueryService:
         )
         self._m_queries_planned = metrics.counter(
             "serve.queries_planned", "distinct queries planned and executed"
+        )
+        self._m_quarantined = metrics.counter(
+            "serve.requests_quarantined",
+            "requests failed alone after retries and degradation",
+        )
+        self._m_retries = metrics.counter(
+            "serve.execution_retries",
+            "batch executions re-attempted after a class failure",
+        )
+        self._m_degraded = metrics.counter(
+            "serve.degraded_queries",
+            "queries answered by the per-query raw-base-table fallback",
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -332,8 +359,7 @@ class QueryService:
             self.stats.n_failed += len(live)
             self._m_failed.inc(len(live))
             for request in live:
-                if not request.future.done():
-                    request.future.set_exception(exc)
+                request.future.try_set_exception(exc)
 
     def _execute_batch(self, batch: MicroBatch) -> None:
         db = self.db
@@ -355,6 +381,7 @@ class QueryService:
 
         sim_ms = 0.0
         canonical: Dict[QueryKey, QueryResult] = dict(hits)
+        quarantined: Dict[QueryKey, BaseException] = {}
         with db.tracer.span(
             "serve.batch",
             batch_id=batch.batch_id,
@@ -364,37 +391,9 @@ class QueryService:
             n_cache_hits=len(hits),
         ) as span:
             if misses:
-                plan = db.optimize(misses, config.algorithm)
-                if paranoia:
-                    from ..check.errors import (
-                        CorrectnessError,
-                        PlanValidationError,
-                    )
-                    from ..check.validate import validate_global_plan
-
-                    try:
-                        validate_global_plan(
-                            db.schema, db.catalog, plan, misses
-                        )
-                    except PlanValidationError as exc:
-                        raise CorrectnessError(
-                            f"{config.algorithm!r} produced a structurally "
-                            f"invalid plan for batch {batch.batch_id}: {exc}",
-                            plan=plan,
-                        ) from exc
-                if config.cold:
-                    execution = execute_plan_parallel(
-                        db, plan, n_workers=config.n_workers
-                    )
-                else:
-                    # Warm execution is order-dependent (classes share the
-                    # pool), so it stays serial.
-                    execution = db.execute(plan, cold=False)
-                sim_ms = execution.sim_ms
-                for result in execution.results.values():
-                    canonical[query_key(result.query)] = result
-                    if cache is not None:
-                        cache.put(result)
+                sim_ms, quarantined = self._execute_misses(
+                    batch, misses, canonical, cache=cache, paranoia=paranoia
+                )
             if hits and paranoia:
                 from ..check.paranoia import recheck_cache_hits
 
@@ -402,8 +401,165 @@ class QueryService:
                     db, {hit.query.qid: hit for hit in hits.values()}
                 )
             span.set("sim_ms", round(sim_ms, 3))
+            if quarantined:
+                span.set("n_quarantined_queries", len(quarantined))
 
-        self._fan_out(batch, canonical, hits, sim_ms)
+        self._fan_out(batch, canonical, hits, sim_ms, quarantined)
+
+    def _run_plan(
+        self, queries: List[GroupByQuery], paranoia: bool
+    ) -> ExecutionReport:
+        """Optimize, (optionally) validate, and execute one set of distinct
+        queries.  Fault-injected class failures land in the report's
+        ``failures`` list; sibling classes' results are unaffected."""
+        db = self.db
+        config = self.config
+        plan = db.optimize(queries, config.algorithm)
+        if paranoia:
+            from ..check.errors import CorrectnessError, PlanValidationError
+            from ..check.validate import validate_global_plan
+
+            try:
+                validate_global_plan(db.schema, db.catalog, plan, queries)
+            except PlanValidationError as exc:
+                raise CorrectnessError(
+                    f"{config.algorithm!r} produced a structurally "
+                    f"invalid plan: {exc}",
+                    plan=plan,
+                ) from exc
+        if config.cold:
+            return execute_plan_parallel(db, plan, n_workers=config.n_workers)
+        # Warm execution is order-dependent (classes share the pool), so it
+        # stays serial.
+        return db.execute(plan, cold=False)
+
+    def _execute_misses(
+        self,
+        batch: MicroBatch,
+        misses: List[GroupByQuery],
+        canonical: Dict[QueryKey, QueryResult],
+        *,
+        cache,
+        paranoia: bool,
+    ) -> "tuple[float, Dict[QueryKey, BaseException]]":
+        """Run the cache-missing queries with bounded retry on injected
+        class failures, then the degraded per-query fallback; returns the
+        simulated cost charged and the queries that exhausted every
+        recovery path (keyed for fan-out quarantine)."""
+        db = self.db
+        state = {
+            "outstanding": list(misses),
+            "sim_ms": 0.0,
+            "errors": {},
+        }
+
+        def record(execution: ExecutionReport) -> None:
+            state["sim_ms"] += execution.sim_ms
+            clean = not execution.failures
+            for result in execution.results.values():
+                canonical[query_key(result.query)] = result
+                # A partially-failed execution must leave no trace in the
+                # result cache: only fully-clean executions are retained.
+                if clean and cache is not None:
+                    cache.put(result)
+
+        def attempt(attempt_no: int) -> None:
+            if attempt_no > 1:
+                self.stats.n_retries += 1
+                self._m_retries.inc()
+            execution = self._run_plan(state["outstanding"], paranoia)
+            record(execution)
+            if execution.failures:
+                failed = set(execution.failed_qids)
+                errors: Dict[QueryKey, BaseException] = {}
+                for query in state["outstanding"]:
+                    if query.qid in failed:
+                        for failure in execution.failures:
+                            if query.qid in failure.qids:
+                                errors[query_key(query)] = failure.error
+                                break
+                state["outstanding"] = [
+                    q for q in state["outstanding"] if q.qid in failed
+                ]
+                state["errors"] = errors
+                raise execution.failures[0].error
+            state["outstanding"] = []
+            state["errors"] = {}
+
+        quarantined: Dict[QueryKey, BaseException] = {}
+        try:
+            call_with_retry(
+                self._retry_policy,
+                attempt,
+                clock=self.sim_clock,
+                retry_on=(InjectedFault,),
+                tracer=db.tracer,
+                label=f"serve batch {batch.batch_id}",
+            )
+        except RetryExhausted as exhausted:
+            for query in list(state["outstanding"]):
+                error = state["errors"].get(query_key(query), exhausted)
+                if self.config.degrade:
+                    error = self._degrade_query(query, canonical, cache, state)
+                if error is not None:
+                    quarantined[query_key(query)] = error
+        return state["sim_ms"], quarantined
+
+    def _raw_base_entry(self):
+        for entry in self.db.catalog.entries():
+            if entry.is_raw:
+                return entry
+        return None
+
+    def _degrade_query(
+        self,
+        query: GroupByQuery,
+        canonical: Dict[QueryKey, QueryResult],
+        cache,
+        state: Dict,
+    ) -> Optional[BaseException]:
+        """Degraded mode: re-plan one repeatedly-failing query *alone*
+        against the raw fact table and execute it, sidestepping whatever
+        shared class (view, index, scan) the fault keeps killing.  Returns
+        None on success, or the final error for quarantine."""
+        from ..core.optimizer.base import build_plan_class
+        from ..core.optimizer.cost import CostModel
+        from ..core.optimizer.plans import GlobalPlan
+
+        db = self.db
+        entry = self._raw_base_entry()
+        if entry is None:
+            return state["errors"].get(query_key(query)) or RuntimeError(
+                "no raw base table to degrade to"
+            )
+        with db.tracer.span(
+            "serve.degrade", qid=query.qid, source=entry.name
+        ) as span:
+            model = CostModel(
+                db.schema,
+                db.catalog,
+                db.stats.rates,
+                statistics=getattr(db, "table_statistics", None),
+                dim_tables=getattr(db, "dimension_tables", None),
+            )
+            try:
+                plan_class = build_plan_class(model, entry, [query])
+            except ValueError as exc:
+                span.set("failed", True)
+                return exc
+            plan = GlobalPlan(algorithm="degraded", classes=[plan_class])
+            execution = db.execute(plan, cold=self.config.cold)
+            state["sim_ms"] += execution.sim_ms
+            if execution.failures:
+                span.set("failed", True)
+                return execution.failures[0].error
+            result = execution.results[query.qid]
+            canonical[query_key(query)] = result
+            if cache is not None:
+                cache.put(result)
+        self.stats.n_degraded += 1
+        self._m_degraded.inc()
+        return None
 
     def _fan_out(
         self,
@@ -411,9 +567,12 @@ class QueryService:
         canonical: Dict[QueryKey, QueryResult],
         hits: Dict[QueryKey, QueryResult],
         sim_ms: float,
+        quarantined: Optional[Dict[QueryKey, BaseException]] = None,
     ) -> None:
+        quarantined = quarantined or {}
         now = time.monotonic()
         responses: Dict[int, ServeResponse] = {}
+        poisoned: Dict[int, List[QueryKey]] = {}
         for request in batch.requests:
             responses[request.request_id] = ServeResponse(
                 request_id=request.request_id,
@@ -421,6 +580,10 @@ class QueryService:
                 latency_s=now - request.submitted_s,
             )
         for key, pairs in batch.members.items():
+            if key in quarantined:
+                for request, _twin in pairs:
+                    poisoned.setdefault(request.request_id, []).append(key)
+                continue
             result = canonical[key]
             from_cache = key in hits
             canonical_qid = result.query.qid
@@ -435,14 +598,55 @@ class QueryService:
                     response.n_cache_hits += 1
                 elif twin.qid != canonical_qid:
                     response.n_coalesced += 1
+        n_served = 0
         for request in batch.requests:
             response = responses[request.request_id]
+            bad_keys = poisoned.get(request.request_id)
+            if bad_keys:
+                # Per-request fault quarantine: this request's queries kept
+                # failing, so it is failed alone; batchmates complete.
+                bad_qids = sorted(
+                    twin.qid
+                    for key in bad_keys
+                    for req, twin in batch.members[key]
+                    if req.request_id == request.request_id
+                )
+                cause = quarantined[bad_keys[0]]
+                self.stats.n_quarantined += 1
+                self._m_quarantined.inc()
+                request.future.try_set_exception(
+                    RequestQuarantined(
+                        f"request {request.request_id} quarantined: "
+                        f"{len(bad_qids)} of its {len(request.queries)} "
+                        f"query(ies) failed every retry and fallback "
+                        f"({cause})",
+                        qids=bad_qids,
+                        cause=cause,
+                    )
+                )
+                continue
+            if request.expired(now):
+                # The deadline elapsed while the batch executed (or
+                # retried); a late result must not be delivered as if it
+                # made it — and since _run_batch may already have failed
+                # this future, resolution must not be attempted twice.
+                waited_ms = (now - request.submitted_s) * 1000.0
+                self.stats.n_timed_out += 1
+                self._m_timed_out.inc()
+                request.future.try_set_exception(
+                    DeadlineExceeded(
+                        f"request {request.request_id} answered after "
+                        f"{waited_ms:.1f} ms, past its deadline"
+                    )
+                )
+                continue
             self._m_latency.observe(response.latency_s * 1000.0)
-            request.future.set_result(response)
+            if request.future.try_set_result(response):
+                n_served += 1
 
         n_planned = batch.n_distinct - len(hits)
         stats = self.stats
-        stats.n_served += batch.n_requests
+        stats.n_served += n_served
         stats.n_batches += 1
         stats.n_queries_submitted += batch.n_submitted
         stats.n_queries_planned += n_planned
@@ -450,7 +654,7 @@ class QueryService:
         stats.n_duplicates_eliminated += batch.n_duplicates_eliminated
         stats.sim_ms_total += sim_ms
         stats.batch_sizes.append(batch.n_requests)
-        self._m_served.inc(batch.n_requests)
+        self._m_served.inc(n_served)
         self._m_batches.inc()
         self._m_batch_requests.observe(batch.n_requests)
         self._m_batch_queries.observe(batch.n_submitted)

@@ -29,9 +29,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.operators.results import QueryResult
 from ..engine.database import Database
+from ..faults import FaultPlan
 from ..workload.serve_load import ClientScript, client_scripts
 from .batching import ServeConfig
-from .futures import ServeError, ServeFuture
+from .futures import RequestQuarantined, ServeError, ServeFuture
 from .service import QueryService
 
 
@@ -58,6 +59,14 @@ class SimulationConfig:
     deadline_ms: Optional[float] = None
     #: How long the harness waits for each future before giving up.
     wait_timeout_s: float = 120.0
+    #: Fault plan armed on the database *during the service run only*
+    #: (the serial baseline always executes fault-free, so it stays the
+    #: correctness reference).  See :mod:`repro.faults`.
+    faults: Optional[FaultPlan] = None
+    #: Retry/degrade knobs forwarded to :class:`ServeConfig`.
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    degrade: bool = True
 
 
 @dataclass
@@ -79,6 +88,11 @@ class SimulationReport:
     coalesce_ratio: float
     n_duplicates_eliminated: int
     n_cache_hits: int
+    #: Resilience outcomes (all zero when no fault plan was armed).
+    n_quarantined: int = 0
+    n_retries: int = 0
+    n_degraded: int = 0
+    n_faults_injected: int = 0
     batch_sizes: List[int] = field(default_factory=list)
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -128,6 +142,13 @@ class SimulationReport:
             f"serial {self.serial_sim_ms:.1f} ms "
             f"({self.speedup:.2f}x cheaper)",
         ]
+        if self.n_faults_injected or self.n_quarantined or self.n_retries:
+            lines.append(
+                f"  resilience: {self.n_faults_injected} fault(s) injected, "
+                f"{self.n_retries} retry(ies), {self.n_degraded} "
+                f"degraded quer(ies), {self.n_quarantined} request(s) "
+                f"quarantined"
+            )
         return "\n".join(lines)
 
 
@@ -167,9 +188,13 @@ def run_simulation(
     )
     n_requests = sum(script.n_requests for script in scripts)
     n_queries = sum(script.n_queries for script in scripts)
+    # The serial baseline always runs fault-free: it is the correctness
+    # reference every served response is verified against.
     serial_ms, serial_results = serial_baseline_ms(
         db, scripts, config.algorithm
     )
+    if config.faults is not None:
+        db.arm_faults(config.faults)
 
     max_batch = config.max_batch_requests or max(1, n_requests)
     service = QueryService(
@@ -181,6 +206,9 @@ def run_simulation(
             n_workers=config.n_workers,
             algorithm=config.algorithm,
             default_deadline_ms=config.deadline_ms,
+            max_attempts=config.max_attempts,
+            backoff_base_ms=config.backoff_base_ms,
+            degrade=config.degrade,
         ),
     )
 
@@ -222,11 +250,15 @@ def run_simulation(
     n_served = 0
     n_timed_out = 0
     n_verified = 0
+    n_quarantined = 0
     latencies: List[float] = []
     try:
         for key, future in sorted(futures.items()):
             try:
                 response = future.result(timeout=config.wait_timeout_s)
+            except RequestQuarantined:
+                n_quarantined += 1
+                continue
             except ServeError:
                 n_timed_out += 1
                 continue
@@ -249,6 +281,8 @@ def run_simulation(
                 n_verified += 1
     finally:
         service.stop()
+        if config.faults is not None:
+            db.disarm_faults()
     wall_s = time.perf_counter() - started
 
     stats = service.stats
@@ -260,6 +294,12 @@ def run_simulation(
         n_rejected=rejected[0],
         n_timed_out=n_timed_out,
         n_verified=n_verified,
+        n_quarantined=n_quarantined,
+        n_retries=stats.n_retries,
+        n_degraded=stats.n_degraded,
+        n_faults_injected=(
+            config.faults.n_fired if config.faults is not None else 0
+        ),
         wall_s=wall_s,
         batched_sim_ms=stats.sim_ms_total,
         serial_sim_ms=serial_ms,

@@ -45,6 +45,9 @@ class BufferPool:
             raise ValueError("buffer pool needs at least one page")
         self.stats = stats
         self.capacity_pages = capacity_pages
+        #: Armed :class:`repro.faults.FaultPlan`, or None. Checked before a
+        #: read is charged, so an injected page fault costs no simulated I/O.
+        self.faults = None
         self._frames: OrderedDict[FrameKey, Page] = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -71,6 +74,13 @@ class BufferPool:
 
     def get_page(self, table: "HeapTable", page_no: int, *, sequential: bool) -> Page:
         """Fetch a page through the pool, charging simulated I/O on a miss."""
+        if self.faults is not None:
+            self.faults.check(
+                "storage.page_read",
+                table=table.name,
+                page_no=page_no,
+                sequential=sequential,
+            )
         key = (table.table_id, page_no)
         with self._lock:
             frame = self._frames.get(key)

@@ -118,6 +118,9 @@ class HeapTable:
 
     def scan_pages(self, pool: "BufferPool") -> Iterator[Page]:
         """Sequentially scan all pages through the buffer pool."""
+        faults = getattr(pool, "faults", None)
+        if faults is not None:
+            faults.check("storage.scan", table=self.name)
         metrics = default_registry()
         metrics.counter("table.scans", "full sequential table scans").inc()
         metrics.counter(

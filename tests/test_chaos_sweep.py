@@ -1,0 +1,179 @@
+"""Chaos lane (``pytest -m chaos``): a seeded fault sweep over the paper
+workload.
+
+For every paper test (Tests 1-7) x optimizer (tplo / etplg / gg) x
+injection site, a first-occurrence fault is armed and the plan executed.
+The lane asserts the whole resilience contract at once:
+
+* a fault either fires and surfaces as a typed per-class failure, or
+  never matches (the plan does not exercise that site) — it is *never*
+  silently swallowed;
+* surviving classes' results are byte-identical to the fault-free run;
+* the buffer pool and the semantic result cache stay coherent afterwards
+  (a disarmed re-run is clean and byte-identical).
+
+Excluded from tier-1 via ``addopts``; CI runs it as its own job with the
+fixed seed below.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check.paranoia import first_divergence
+from repro.engine.result_cache import attach_cache
+from repro.faults import (
+    SITES,
+    FaultPlan,
+    InjectedFault,
+    InjectionPoint,
+    PartialResultError,
+)
+from repro.obs.analyze import CALIBRATION_TESTS
+
+from helpers import make_tiny_db, random_query
+
+pytestmark = pytest.mark.chaos
+
+#: The lane's fixed seed: every firing below is reproducible from it.
+CHAOS_SEED = 1998
+
+ALGORITHMS = ("tplo", "etplg", "gg")
+
+SWEEP = [
+    (test_name, algorithm)
+    for test_name in sorted(CALIBRATION_TESTS)
+    for algorithm in ALGORITHMS
+]
+
+
+def _snapshot(report):
+    """qid -> groups dict, deep enough for byte-identity comparison."""
+    return {
+        qid: dict(result.groups) for qid, result in report.results.items()
+    }
+
+
+@pytest.mark.parametrize(
+    "test_name, algorithm",
+    SWEEP,
+    ids=[f"{t}-{a}" for t, a in SWEEP],
+)
+def test_fault_sweep_over_paper_workload(paper_db, paper_qs, test_name,
+                                         algorithm):
+    db = paper_db
+    queries = [paper_qs[i] for i in CALIBRATION_TESTS[test_name]]
+    plan = db.optimize(queries, algorithm)
+    all_qids = {q.qid for q in queries}
+
+    clean = db.execute(plan)
+    assert not clean.failures
+    baseline = _snapshot(clean)
+
+    for site in SITES:
+        fault = FaultPlan(
+            [InjectionPoint(site=site, nth=1)], seed=CHAOS_SEED
+        )
+        db.arm_faults(fault)
+        try:
+            report = db.execute(plan)
+        finally:
+            db.disarm_faults()
+
+        if fault.n_fired == 0:
+            # The plan never exercised this site (e.g. a pure-scan plan
+            # performs no index lookups): the run must be fully clean.
+            assert not report.failures, (
+                f"{site}: failures without a firing"
+            )
+            assert _snapshot(report) == baseline
+            continue
+
+        # Fired exactly once (nth is single-shot)...
+        assert fault.n_fired == 1
+        event = fault.fired[0]
+        assert event.site == site
+        # ...and was NOT silently swallowed: it surfaced as >= 1 typed
+        # class failure carrying the injected error.
+        assert report.failures, (
+            f"{site}: fault {event.describe()} fired but the report "
+            f"records no failure"
+        )
+        assert all(
+            isinstance(f.error, InjectedFault) for f in report.failures
+        )
+        assert all(f.error.site == site for f in report.failures)
+
+        # Failed + surviving qids partition the workload exactly.
+        failed = set(report.failed_qids)
+        surviving = set(report.results)
+        assert failed and failed | surviving == all_qids
+        assert not failed & surviving
+
+        # Survivors are byte-identical to the fault-free execution.
+        for qid in surviving:
+            assert report.results[qid].groups == baseline[qid], (
+                f"{site}: surviving qid {qid} diverged from the "
+                f"fault-free run"
+            )
+        for query in queries:
+            if query.qid in failed:
+                with pytest.raises(PartialResultError):
+                    report.result_for(query)
+
+        # Buffer pool stayed within its frame budget through the abort.
+        assert len(db.pool) <= db.pool.capacity_pages
+
+    # Coherence: after the whole sweep, a disarmed run is clean and
+    # byte-identical — no fault left the pool or tables corrupted.
+    final = db.execute(plan)
+    assert not final.failures
+    assert _snapshot(final) == baseline
+
+
+def test_result_cache_coherent_under_chaos():
+    """Random single faults against a cached tiny database: the cache must
+    never serve a result that diverges from the reference evaluator, and
+    must never retain entries from a partially-failed batch."""
+    db = make_tiny_db(materialized=("X'Y'",))
+    cache = attach_cache(db)
+    rng = random.Random(CHAOS_SEED)
+    from repro.check import reference_answer
+
+    for round_no in range(12):
+        queries = [
+            random_query(db.schema, rng, label=f"r{round_no}q{i}")
+            for i in range(3)
+        ]
+        site = rng.choice(SITES)
+        nth = rng.randint(1, 4)
+        fault = FaultPlan(
+            [InjectionPoint(site=site, nth=nth)],
+            seed=CHAOS_SEED + round_no,
+        )
+        db.arm_faults(fault)
+        try:
+            report = db.run_queries(queries, "gg")
+        finally:
+            db.disarm_faults()
+        if report.failures:
+            # Partial batch: nothing may have been retained this round.
+            assert all(
+                isinstance(f.error, InjectedFault) for f in report.failures
+            )
+        # Every served result — executed or cached — matches the
+        # reference evaluator.
+        for query in queries:
+            if query.qid in report.failed_qids:
+                continue
+            divergence = first_divergence(
+                reference_answer(db, query).groups,
+                report.results[query.qid].groups,
+            )
+            assert divergence is None, (
+                f"round {round_no}: {site} nth={nth}: {divergence}"
+            )
+    # The cache's coherence invariant held throughout; end-state sanity:
+    assert len(cache) <= cache.max_entries

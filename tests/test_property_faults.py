@@ -1,0 +1,122 @@
+"""Property-based fault placement: for random schemas and a random single
+armed fault, every completed query still agrees with the brute-force
+reference evaluator and every lost query fails with the typed error — no
+fault placement can make the engine answer *wrong*, only *less*.
+
+Hypothesis owns the fault site/trigger/table choice, so a failing example
+shrinks toward the minimal fault placement that breaks the invariant.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import first_divergence, reference_answer
+from repro.engine.database import Database
+from repro.faults import SITES, FaultPlan, InjectedFault, InjectionPoint, PartialResultError
+from repro.schema.dimension import Dimension
+from repro.schema.star import StarSchema
+from repro.workload.generator import generate_fact_rows
+
+from helpers import random_query
+
+ALGORITHMS = ("tplo", "etplg", "gg")
+
+#: Databases are expensive to build; examples share a few, keyed by seed,
+#: so shrinking replays against identical state.
+_DB_CACHE = {}
+
+
+def random_database(seed: int) -> Database:
+    """A random 2-dimension star with a random view and indexed base."""
+    if seed in _DB_CACHE:
+        return _DB_CACHE[seed]
+    rng = random.Random(seed)
+    dimensions = []
+    for d in range(2):
+        name = "XY"[d]
+        dimensions.append(
+            Dimension.build_uniform(
+                name,
+                (name, name + "'", name + "''"),
+                n_top=2,
+                fanouts=(rng.randint(2, 3), rng.randint(2, 3)),
+            )
+        )
+    schema = StarSchema(f"faultprop-{seed}", dimensions, measure="m")
+    db = Database(schema, page_size=64, buffer_pages=256)
+    db.load_base(generate_fact_rows(schema, 200, seed=seed), name="XY")
+    levels = (rng.randint(0, 2), rng.randint(0, 2))
+    if any(levels):
+        db.materialize(levels)
+    db.index_all_dimensions("XY")
+    _DB_CACHE[seed] = db
+    return db
+
+
+@given(
+    schema_seed=st.integers(0, 3),
+    query_seed=st.integers(0, 10_000),
+    algorithm=st.sampled_from(ALGORITHMS),
+    site=st.sampled_from(SITES),
+    nth=st.integers(1, 6),
+    restrict_to_base=st.booleans(),
+    fault_seed=st.integers(0, 100),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_single_fault_never_corrupts_surviving_answers(
+    schema_seed, query_seed, algorithm, site, nth, restrict_to_base,
+    fault_seed,
+):
+    db = random_database(schema_seed)
+    rng = random.Random(query_seed)
+    queries = [random_query(db.schema, rng, label=f"p{i}") for i in range(3)]
+    point = InjectionPoint(
+        site=site,
+        nth=nth,
+        table="XY" if restrict_to_base else None,
+    )
+    fault = FaultPlan([point], seed=fault_seed)
+    db.arm_faults(fault)
+    try:
+        report = db.run_queries(queries, algorithm)
+    finally:
+        db.disarm_faults()
+
+    failed = set(report.failed_qids)
+    if fault.n_fired == 0:
+        assert not failed, "failures recorded without any firing"
+    else:
+        # The firing surfaced as a typed failure, never swallowed.
+        assert report.failures
+        assert all(
+            isinstance(f.error, InjectedFault) for f in report.failures
+        )
+
+    for query in queries:
+        if query.qid in failed:
+            # Lost queries fail loudly with the typed partial-result error.
+            try:
+                report.result_for(query)
+            except PartialResultError:
+                pass
+            else:
+                raise AssertionError(
+                    f"failed qid {query.qid} produced a result"
+                )
+        else:
+            divergence = first_divergence(
+                reference_answer(db, query).groups,
+                report.result_for(query).groups,
+            )
+            assert divergence is None, (
+                f"{site} nth={nth} ({algorithm}): surviving "
+                f"{query.display_name()} diverged: {divergence.describe()}"
+            )

@@ -1,0 +1,168 @@
+"""Retry/backoff unit tests — everything on the simulated clock.
+
+The contract under test: exhaustion after *exactly* ``max_attempts``
+calls, deterministic exponential delays charged to the
+:class:`SimulatedClock` (never a wall-clock sleep), and ``retry.*``
+metrics that count attempts exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.serve import (
+    RetryExhausted,
+    RetryPolicy,
+    SimulatedClock,
+    call_with_retry,
+)
+
+
+@pytest.fixture()
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_default_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_default_registry(previous)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="backoff_base_ms"):
+        RetryPolicy(backoff_base_ms=-1.0)
+    with pytest.raises(ValueError, match="backoff_multiplier"):
+        RetryPolicy(backoff_multiplier=0.5)
+
+
+def test_backoff_sequence_is_deterministic_exponential():
+    policy = RetryPolicy(
+        max_attempts=4, backoff_base_ms=50.0, backoff_multiplier=2.0
+    )
+    assert [policy.backoff_ms(k) for k in (1, 2, 3, 4)] == [
+        0.0, 50.0, 100.0, 200.0,
+    ]
+    assert policy.total_backoff_ms() == 350.0
+
+
+def test_clock_advances_monotonically():
+    clock = SimulatedClock()
+    assert clock.now_ms == 0.0
+    assert clock.advance(12.5) == 12.5
+    assert clock.advance(0.0) == 12.5
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_first_try_success_waits_nothing(registry):
+    clock = SimulatedClock()
+    calls = []
+    result = call_with_retry(
+        RetryPolicy(max_attempts=3), lambda attempt: calls.append(attempt)
+        or "ok", clock=clock,
+    )
+    assert result == "ok"
+    assert calls == [1]
+    assert clock.now_ms == 0.0
+    assert registry.counter("retry.attempts").value == 1
+    assert registry.counter("retry.failures").value == 0
+    assert registry.counter("retry.exhausted").value == 0
+
+
+def test_success_after_failures_charges_exact_backoff(registry):
+    clock = SimulatedClock()
+    policy = RetryPolicy(
+        max_attempts=5, backoff_base_ms=10.0, backoff_multiplier=3.0
+    )
+    attempts = []
+
+    def flaky(attempt):
+        attempts.append(attempt)
+        if attempt < 3:
+            raise RuntimeError(f"boom {attempt}")
+        return attempt
+
+    assert call_with_retry(policy, flaky, clock=clock) == 3
+    assert attempts == [1, 2, 3]
+    # Waits: 0 before #1, 10 before #2, 30 before #3.
+    assert clock.now_ms == 40.0
+    assert registry.counter("retry.attempts").value == 3
+    assert registry.counter("retry.failures").value == 2
+    assert registry.counter("retry.exhausted").value == 0
+    backoff = registry.histogram("retry.backoff_ms")
+    assert backoff.count == 2
+    assert backoff.total == 40.0
+
+
+def test_exhaustion_after_exactly_max_attempts(registry):
+    clock = SimulatedClock()
+    policy = RetryPolicy(
+        max_attempts=3, backoff_base_ms=5.0, backoff_multiplier=2.0
+    )
+    calls = []
+
+    def always_fails(attempt):
+        calls.append(attempt)
+        raise RuntimeError(f"boom {attempt}")
+
+    with pytest.raises(RetryExhausted) as info:
+        call_with_retry(policy, always_fails, clock=clock)
+    assert calls == [1, 2, 3]
+    assert info.value.attempts == 3
+    assert isinstance(info.value.last_error, RuntimeError)
+    assert str(info.value.last_error) == "boom 3"
+    assert info.value.__cause__ is info.value.last_error
+    assert clock.now_ms == 15.0  # 5 + 10
+    assert registry.counter("retry.attempts").value == 3
+    assert registry.counter("retry.failures").value == 3
+    assert registry.counter("retry.exhausted").value == 1
+
+
+def test_unretryable_errors_propagate_immediately(registry):
+    calls = []
+
+    def fails_differently(attempt):
+        calls.append(attempt)
+        raise KeyError("not retryable")
+
+    with pytest.raises(KeyError):
+        call_with_retry(
+            RetryPolicy(max_attempts=5),
+            fails_differently,
+            retry_on=(RuntimeError,),
+        )
+    assert calls == [1]
+    assert registry.counter("retry.failures").value == 0
+    assert registry.counter("retry.exhausted").value == 0
+
+
+def test_no_wall_clock_sleep_happens(registry):
+    """Minutes of simulated backoff must cost ~zero wall time."""
+    clock = SimulatedClock()
+    policy = RetryPolicy(
+        max_attempts=10, backoff_base_ms=60_000.0, backoff_multiplier=2.0
+    )
+
+    def always_fails(attempt):
+        raise RuntimeError("boom")
+
+    started = time.perf_counter()
+    with pytest.raises(RetryExhausted):
+        call_with_retry(policy, always_fails, clock=clock)
+    elapsed = time.perf_counter() - started
+    assert clock.now_ms == policy.total_backoff_ms()
+    assert clock.now_ms > 10_000_000.0  # minutes of simulated waiting...
+    assert elapsed < 5.0  # ...at wall speed (loose CI-safe bound)
+
+
+def test_clock_is_optional():
+    with pytest.raises(RetryExhausted):
+        call_with_retry(
+            RetryPolicy(max_attempts=2),
+            lambda attempt: (_ for _ in ()).throw(RuntimeError("x")),
+        )

@@ -1,0 +1,291 @@
+"""Serve-layer resilience: retry, quarantine, degraded fallback, and the
+two latent-bug regressions (deadline handling in fan-out; result-cache
+retention after a partially-failed batch).
+
+All fault placement targets tables the optimizer's plan actually reads
+(an injection point on an untouched view never fires — see the chaos
+sweep for the systematic version of that check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import reference_answer
+from repro.check.paranoia import first_divergence
+from repro.engine.result_cache import attach_cache
+from repro.engine.session import query_key
+from repro.faults import FaultPlan, InjectedFault, InjectionPoint
+from repro.schema.query import Aggregate, GroupBy, GroupByQuery
+from repro.serve import (
+    DeadlineExceeded,
+    QueryService,
+    RequestQuarantined,
+    ServeConfig,
+    ServeFuture,
+    ServeResponse,
+)
+
+from helpers import make_tiny_db
+
+
+def coarse_query(label: str) -> GroupByQuery:
+    """Answerable from the X'Y' view (and, degraded, from the XY base)."""
+    return GroupByQuery(
+        groupby=GroupBy((1, 1)), predicates=(), aggregate=Aggregate.SUM,
+        label=label,
+    )
+
+
+def leaf_query(label: str) -> GroupByQuery:
+    """Answerable only from the XY base table."""
+    return GroupByQuery(
+        groupby=GroupBy((0, 0)), predicates=(), aggregate=Aggregate.SUM,
+        label=label,
+    )
+
+
+# -- retry --------------------------------------------------------------------
+
+
+def test_transient_fault_is_retried_to_success():
+    db = make_tiny_db()
+    queries = [leaf_query("a"), coarse_query("b")]
+    # nth=1: the first base-table scan dies, every later one succeeds.
+    db.arm_faults(
+        FaultPlan([InjectionPoint(site="storage.scan", table="XY", nth=1)])
+    )
+    service = QueryService(
+        db,
+        ServeConfig(window_ms=1.0, max_attempts=3, backoff_base_ms=10.0),
+    )
+    try:
+        with service:
+            response = service.submit(queries).result(timeout=30)
+    finally:
+        db.disarm_faults()
+    assert set(response.results) == {q.qid for q in queries}
+    assert service.stats.n_retries == 1
+    assert service.stats.n_quarantined == 0
+    # Exactly one backoff (before attempt 2) on the simulated clock.
+    assert service.sim_clock.now_ms == 10.0
+    for query in queries:
+        assert first_divergence(
+            reference_answer(db, query).groups,
+            response.results[query.qid].groups,
+        ) is None
+
+
+# -- quarantine ---------------------------------------------------------------
+
+
+def test_persistent_fault_quarantines_request_alone():
+    db = make_tiny_db(materialized=("X'Y'",))
+    bad = coarse_query("bad")
+    safe = leaf_query("safe")
+    # tplo keeps the view-answerable and base-only queries in separate
+    # classes, so the armed view fault kills exactly one class.
+    db.arm_faults(
+        FaultPlan([InjectionPoint(site="storage.page_read", table="X'Y'")])
+    )
+    service = QueryService(
+        db,
+        ServeConfig(
+            window_ms=200.0, max_attempts=2, backoff_base_ms=5.0,
+            degrade=False, algorithm="tplo",
+        ),
+    )
+    try:
+        with service:
+            bad_future = service.submit([bad])
+            safe_future = service.submit([safe])
+            with pytest.raises(RequestQuarantined) as info:
+                bad_future.result(timeout=30)
+            safe_response = safe_future.result(timeout=30)
+    finally:
+        db.disarm_faults()
+    assert info.value.qids == (bad.qid,)
+    assert isinstance(info.value.cause, InjectedFault)
+    # The batchmate completed, correctly, in the same batch.
+    assert first_divergence(
+        reference_answer(db, safe).groups,
+        safe_response.results[safe.qid].groups,
+    ) is None
+    assert service.stats.n_quarantined == 1
+    assert service.stats.n_served == 1
+    assert service.stats.n_retries == 1  # one re-attempt before giving up
+
+
+# -- degraded fallback --------------------------------------------------------
+
+
+def test_degraded_replanning_answers_from_the_base_table():
+    db = make_tiny_db(materialized=("X'Y'",))
+    query = coarse_query("degraded")
+    # Sanity: the undegraded plan reads the view.
+    assert [c.source for c in db.optimize([query], "gg").classes] == ["X'Y'"]
+    db.arm_faults(
+        FaultPlan([InjectionPoint(site="storage.page_read", table="X'Y'")])
+    )
+    service = QueryService(
+        db,
+        ServeConfig(
+            window_ms=1.0, max_attempts=2, backoff_base_ms=5.0, degrade=True,
+        ),
+    )
+    try:
+        with service:
+            response = service.submit([query]).result(timeout=30)
+    finally:
+        db.disarm_faults()
+    assert service.stats.n_degraded == 1
+    assert service.stats.n_quarantined == 0
+    assert first_divergence(
+        reference_answer(db, query).groups,
+        response.results[query.qid].groups,
+    ) is None
+
+
+def test_degrade_failure_still_quarantines():
+    """When even the raw base table is poisoned, degradation cannot save
+    the query and the request is quarantined with the typed cause."""
+    db = make_tiny_db()
+    query = leaf_query("doomed")
+    db.arm_faults(
+        FaultPlan([InjectionPoint(site="storage.scan", table="XY")])
+    )
+    service = QueryService(
+        db,
+        ServeConfig(
+            window_ms=1.0, max_attempts=2, backoff_base_ms=5.0, degrade=True,
+        ),
+    )
+    try:
+        with service:
+            with pytest.raises(RequestQuarantined) as info:
+                service.submit([query]).result(timeout=30)
+    finally:
+        db.disarm_faults()
+    assert info.value.qids == (query.qid,)
+    assert isinstance(info.value.cause, InjectedFault)
+
+
+# -- ServeFuture --------------------------------------------------------------
+
+
+def test_future_try_setters_are_idempotent():
+    future = ServeFuture(1)
+    first = ServeResponse(request_id=1)
+    assert future.try_set_result(first) is True
+    assert future.try_set_result(ServeResponse(request_id=1)) is False
+    assert future.try_set_exception(RuntimeError("late")) is False
+    assert future.result(timeout=1) is first
+    # The strict setters still enforce single assignment.
+    with pytest.raises(RuntimeError, match="resolved twice"):
+        future.set_result(first)
+
+
+# -- latent-bug regression: deadline handling ---------------------------------
+
+
+def test_request_expiring_during_execution_gets_deadline_exceeded():
+    """A request whose deadline passes while its batch executes must be
+    failed with DeadlineExceeded — not handed a result after the fact —
+    and the scheduler must survive resolving it exactly once."""
+    db = make_tiny_db()
+    service = QueryService(db, ServeConfig(window_ms=120.0))
+    with service:
+        # The deadline (1 ms) expires inside the 120 ms batching window,
+        # so the request is alive at assembly but expired by fan-out.
+        doomed = service.submit([leaf_query("doomed")], deadline_ms=1.0)
+        with pytest.raises(DeadlineExceeded, match="past its deadline"):
+            doomed.result(timeout=30)
+        # The scheduler is still healthy: a follow-up request is served.
+        ok = service.submit([coarse_query("ok")]).result(timeout=30)
+        assert len(ok.results) == 1
+    assert service.stats.n_timed_out >= 1
+
+
+# -- latent-bug regression: cache retention after partial failure -------------
+
+
+def _partial_failure_setup():
+    """Tiny db + two queries that tplo splits into two classes, with a
+    persistent fault on the base class only."""
+    db = make_tiny_db(materialized=("X'Y'",))
+    cache = attach_cache(db)
+    survivor = coarse_query("survivor")
+    casualty = leaf_query("casualty")
+    fault = FaultPlan([InjectionPoint(site="storage.scan", table="XY")])
+    return db, cache, survivor, casualty, fault
+
+
+def test_cache_retains_nothing_from_a_partially_failed_batch():
+    db, cache, survivor, casualty, fault = _partial_failure_setup()
+    db.arm_faults(fault)
+    try:
+        report = db.run_queries([survivor, casualty], "tplo")
+    finally:
+        db.disarm_faults()
+    assert report.failed_qids == [casualty.qid]
+    assert survivor.qid in report.results
+    # The survivor's (correct) result must NOT be in the cache: caching it
+    # would let an identical later batch skip re-execution — and skip
+    # re-surfacing the casualty's typed error.
+    assert len(cache) == 0
+    # A clean re-run executes everything and only then populates the cache.
+    clean = db.run_queries([survivor, casualty], "tplo")
+    assert not clean.failures
+    assert clean.n_cache_hits == 0
+    assert len(cache) == 2
+
+
+def test_serve_cache_not_polluted_by_quarantined_batch():
+    db, cache, survivor, casualty, fault = _partial_failure_setup()
+    db.arm_faults(fault)
+    service = QueryService(
+        db,
+        ServeConfig(
+            window_ms=200.0, max_attempts=2, backoff_base_ms=5.0,
+            degrade=False, algorithm="tplo",
+        ),
+    )
+    try:
+        with service:
+            ok_future = service.submit([survivor])
+            bad_future = service.submit([casualty])
+            ok_response = ok_future.result(timeout=30)
+            with pytest.raises(RequestQuarantined):
+                bad_future.result(timeout=30)
+    finally:
+        db.disarm_faults()
+    assert len(ok_response.results) == 1
+    # Neither the quarantined query nor its surviving batchmate was cached.
+    assert cache.get(casualty) is None
+    assert cache.get(survivor) is None
+    assert len(cache) == 0
+
+
+def test_serve_cache_keeps_degraded_results():
+    """Degraded recovery *completes* the batch, so its results are safe to
+    cache — the typed error was consumed by a successful fallback."""
+    db = make_tiny_db(materialized=("X'Y'",))
+    cache = attach_cache(db)
+    query = coarse_query("recovered")
+    db.arm_faults(
+        FaultPlan([InjectionPoint(site="storage.page_read", table="X'Y'")])
+    )
+    service = QueryService(
+        db,
+        ServeConfig(
+            window_ms=1.0, max_attempts=2, backoff_base_ms=5.0, degrade=True,
+        ),
+    )
+    try:
+        with service:
+            service.submit([query]).result(timeout=30)
+    finally:
+        db.disarm_faults()
+    assert service.stats.n_degraded == 1
+    assert cache.get(query) is not None
+    assert query_key(query) is not None  # exercised for the import
