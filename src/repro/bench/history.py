@@ -91,6 +91,14 @@ class RunRecord:
     tests: Dict[str, List[dict]] = field(default_factory=dict)
     #: Calibration summary (see CalibrationReport.summary()).
     calibration: dict = field(default_factory=dict)
+    #: Execution path of the run: True = columnar kernels, False = the
+    #: per-tuple fallback, None = recorded before the flag existed.
+    #: Deliberately *not* part of the fingerprint — both paths produce the
+    #: same simulated costs, so their records gate against each other.
+    kernels: Optional[bool] = None
+    #: Wall-clock seconds (context only, never gated):
+    #: ``{"figures_s", "calibration_s", "total_s"}``.
+    wall: Dict[str, float] = field(default_factory=dict)
     version: int = RECORD_VERSION
 
     def to_dict(self) -> dict:
@@ -99,6 +107,8 @@ class RunRecord:
             "label": self.label,
             "created_at": self.created_at,
             "fingerprint": self.fingerprint,
+            "kernels": self.kernels,
+            "wall": self.wall,
             "figures": self.figures,
             "tests": self.tests,
             "calibration": self.calibration,
@@ -119,6 +129,8 @@ class RunRecord:
             figures=data.get("figures", {}),
             tests=data.get("tests", {}),
             calibration=data.get("calibration", {}),
+            kernels=data.get("kernels"),
+            wall=data.get("wall", {}),
             version=version,
         )
 
@@ -147,11 +159,14 @@ def record_run(
     tests: Optional[Sequence[str]] = None,
     algorithms: Sequence[str] = CALIBRATION_ALGORITHMS,
     figures: bool = True,
+    kernels: bool = True,
 ) -> RunRecord:
     """Run the paper workload and build its telemetry record.
 
-    ``db`` defaults to a freshly built paper database at ``scale``.
-    ``tests`` restricts the calibration/Table-2 sweep (see
+    ``db`` defaults to a freshly built paper database at ``scale``;
+    ``kernels=False`` builds it on the per-tuple execution path (ignored
+    when ``db`` is given — the database's own flag wins).  ``tests``
+    restricts the calibration/Table-2 sweep (see
     :data:`repro.obs.analyze.CALIBRATION_TESTS`); ``figures=False`` skips
     the Figures 10–12 sharing sweeps (the slow part at larger scales).
     """
@@ -165,11 +180,13 @@ def record_run(
     if db is None:
         from ..workload.paper_schema import build_paper_database
 
-        db = build_paper_database(scale=scale)
+        db = build_paper_database(scale=scale, kernels=kernels)
+    started = time.perf_counter()
     record = RunRecord(
         label=label,
         created_at=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         fingerprint=database_fingerprint(db, scale=scale),
+        kernels=bool(getattr(db, "kernels", True)),
     )
     queries = paper_queries(db.schema)
     if figures:
@@ -196,8 +213,13 @@ def record_run(
                 }
                 for row in rows
             ]
+        record.wall["figures_s"] = round(time.perf_counter() - started, 6)
+    calibration_started = time.perf_counter()
     calibration = run_calibration(db, tests=tests, algorithms=algorithms)
     record.calibration = calibration.summary()
+    record.wall["calibration_s"] = round(
+        time.perf_counter() - calibration_started, 6
+    )
     for outcome in calibration.plans:
         record.tests.setdefault(outcome.test, []).append(
             {
@@ -208,6 +230,7 @@ def record_run(
                 "plan": outcome.plan,
             }
         )
+    record.wall["total_s"] = round(time.perf_counter() - started, 6)
     return record
 
 

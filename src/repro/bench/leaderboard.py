@@ -1,0 +1,100 @@
+"""Markdown leaderboard over committed benchmark records.
+
+The repo commits one ``BENCH_<label>.json`` per tracked configuration
+(e.g. ``BENCH_seed.json`` for the per-tuple path, ``BENCH_kernels.json``
+for the columnar kernels).  :func:`load_records` collects every such file
+in a directory and :func:`render_leaderboard` turns them into the markdown
+table embedded in ``docs/performance.md`` — simulated costs side by side
+(they must match between execution paths) with the wall-clock column
+showing the real win.
+
+CLI: ``repro bench --leaderboard [--dir DIR] [--output FILE]``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .history import PathLike, RunRecord
+
+#: Display names for the RunRecord.kernels tri-state.
+_PATH_NAMES = {True: "kernels", False: "tuple", None: "?"}
+
+
+def load_records(
+    directory: Optional[PathLike] = None,
+) -> List[Tuple[Path, RunRecord]]:
+    """Every ``BENCH_*.json`` in ``directory`` (default: current dir),
+    sorted by label; unreadable files raise — a committed record that no
+    longer parses is a repo bug, not something to skip silently."""
+    base = Path(directory) if directory is not None else Path.cwd()
+    out: List[Tuple[Path, RunRecord]] = []
+    for path in sorted(base.glob("BENCH_*.json")):
+        out.append((path, RunRecord.load(path)))
+    return out
+
+
+def _gg_sim_total(record: RunRecord) -> Optional[float]:
+    """Total simulated cost of the gg plans across the record's tests —
+    one deterministic number summarizing the whole Table-2 sweep."""
+    total = 0.0
+    seen = False
+    for rows in record.tests.values():
+        for row in rows:
+            if row.get("algorithm") == "gg" and row.get("sim_ms") is not None:
+                total += row["sim_ms"]
+                seen = True
+    return round(total, 3) if seen else None
+
+
+def _best_speedup(record: RunRecord) -> Optional[float]:
+    """Largest shared-vs-separate speedup across the figure sweeps."""
+    best: Optional[float] = None
+    for rows in record.figures.values():
+        for row in rows:
+            speedup = row.get("speedup")
+            if speedup is not None and (best is None or speedup > best):
+                best = speedup
+    return best
+
+
+def _cell(value: object, fmt: str = "{}") -> str:
+    return "-" if value is None else fmt.format(value)
+
+
+def render_leaderboard(
+    records: Sequence[Tuple[PathLike, RunRecord]],
+) -> str:
+    """The leaderboard as a markdown table, fastest wall clock first.
+
+    Simulated columns are byte-comparable across rows that share a
+    fingerprint; wall seconds are environment-dependent context.
+    """
+    if not records:
+        raise ValueError("no benchmark records to render")
+
+    def sort_key(item: Tuple[PathLike, RunRecord]) -> Tuple[int, float, str]:
+        path, record = item
+        wall = record.wall.get("total_s")
+        return (wall is None, wall if wall is not None else 0.0, str(path))
+
+    lines = [
+        "| record | path | recorded | wall s | gg sim-ms | best speedup "
+        "| q-error p95 | misrankings |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for path, record in sorted(records, key=sort_key):
+        lines.append(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |".format(
+                Path(path).name,
+                _PATH_NAMES.get(record.kernels, "?"),
+                record.created_at or "-",
+                _cell(record.wall.get("total_s"), "{:.2f}"),
+                _cell(_gg_sim_total(record), "{:.1f}"),
+                _cell(_best_speedup(record), "{:.2f}x"),
+                _cell(record.calibration.get("q_error_p95")),
+                _cell(record.calibration.get("misrankings")),
+            )
+        )
+    return "\n".join(lines)

@@ -50,6 +50,13 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         default=0.01,
         help="fraction of the paper's 2M-row base table (default 0.01)",
     )
+    parser.add_argument(
+        "--tuple-path",
+        action="store_true",
+        help="execute on the legacy per-tuple operators instead of the "
+        "default vectorized columnar kernels (same results and simulated "
+        "costs, slower wall clock; see docs/performance.md)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -197,6 +204,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-figures", action="store_true",
         help="skip the Figures 10-12 sharing sweeps (faster)",
     )
+    bench.add_argument(
+        "--leaderboard", action="store_true",
+        help="render the committed BENCH_*.json records as a markdown "
+        "leaderboard (standalone: no database is built)",
+    )
+    bench.add_argument(
+        "--dir", metavar="DIR", default=None,
+        help="directory --leaderboard scans for BENCH_*.json "
+        "(default: current directory)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -307,7 +324,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     print(f"schema: {db.schema.name}; base rows: "
           f"{db.catalog.get('ABCD').n_rows}")
     rows = []
@@ -339,8 +356,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .engine.persist import load_database
 
         db = load_database(args.database)
+        db.kernels = not args.tuple_path
     else:
-        db = build_paper_database(scale=args.scale)
+        db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     db.paranoia = args.paranoia
     if args.paranoia:
         print("paranoia: validating plans and cross-checking every result "
@@ -397,7 +415,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         raise CliError(
             f"unknown tests {unknown}; choose from {list(PAPER_TESTS)}"
         )
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     db.paranoia = args.paranoia
     if args.paranoia:
         print("paranoia: validating plans and cross-checking every result "
@@ -423,7 +441,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     qs = paper_queries(db.schema)
     for title, rows in [
         (
@@ -464,7 +482,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         raise CliError("provide MDX text or --file")
     from .core.explain import explain_plan
 
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     queries = translate_mdx(db.schema, mdx)
     plan = db.optimize(queries, args.algorithm)
     print(explain_plan(db.schema, db.catalog, plan))
@@ -505,7 +523,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan = parse_fault_plan(args.faults, seed=args.fault_seed)
         except ValueError as exc:
             raise CliError(f"bad --faults spec: {exc}") from exc
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     if args.cache:
         attach_cache(db)
     config = SimulationConfig(
@@ -549,7 +567,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .obs.analyze import run_calibration
 
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     report = run_calibration(db, tests=_parse_tests(args.tests))
     print(report.render())
     return 0
@@ -563,8 +581,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         record_run,
     )
 
+    if args.leaderboard:
+        from .bench.leaderboard import load_records, render_leaderboard
+
+        if args.record or args.compare:
+            raise CliError(
+                "--leaderboard renders committed records and cannot be "
+                "combined with --record/--compare"
+            )
+        try:
+            records = load_records(args.dir)
+        except ValueError as exc:  # includes json.JSONDecodeError
+            raise CliError(f"unreadable benchmark record: {exc}") from exc
+        if not records:
+            where = args.dir or "."
+            raise CliError(
+                f"no BENCH_*.json records in {where}; record one first "
+                f"with `repro bench --record`"
+            )
+        table = render_leaderboard(records)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(table + "\n")
+            print(f"leaderboard ({len(records)} record(s)) -> {args.output}")
+        else:
+            print(table)
+        return 0
     if not args.record and not args.compare:
-        raise CliError("pass --record and/or --compare")
+        raise CliError("pass --record, --compare, and/or --leaderboard")
     default_path = default_record_path(args.label)
     baseline = None
     if args.compare:
@@ -578,11 +623,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"no baseline at {baseline_path}; record one first "
                 f"with `repro bench --record`"
             ) from None
+        except ValueError as exc:  # includes json.JSONDecodeError
+            raise CliError(
+                f"baseline {baseline_path} is not a readable benchmark "
+                f"record: {exc}"
+            ) from exc
     latest = record_run(
         label=args.label,
         scale=args.scale,
         tests=_parse_tests(args.tests),
         figures=not args.no_figures,
+        kernels=not args.tuple_path,
     )
     if args.record:
         path = args.output or default_path
@@ -592,6 +643,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"comparing against baseline {baseline_path} "
               f"(recorded {baseline.created_at or 'unknown'})")
         result = compare_records(latest, baseline)
+        if result.fingerprint_mismatch is not None:
+            # A baseline from a different schema/scale/rates is a usage
+            # error, not a regression: exit 2, like any other bad input.
+            raise CliError(
+                f"baseline {baseline_path} is incomparable: "
+                f"{result.fingerprint_mismatch}"
+            )
         print(result.render())
         if not result.passed:
             return 1
@@ -599,7 +657,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_select_views(args: argparse.Namespace) -> int:
-    db = build_paper_database(scale=args.scale)
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
     n_base = db.catalog.get("ABCD").n_rows
     selection = greedy_select_views(db.schema, n_base, n_views=args.budget)
     print(
@@ -626,7 +684,9 @@ def _cmd_select_views(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .bench.paper_report import generate_report
 
-    text = generate_report(scale=args.scale, output=args.output)
+    text = generate_report(
+        scale=args.scale, output=args.output, kernels=not args.tuple_path
+    )
     if args.output:
         print(f"report written to {args.output}")
     else:

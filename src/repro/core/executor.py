@@ -462,6 +462,7 @@ def _isolated_context(db: "Database") -> ExecContext:
         stats=stats,
         dim_tables=db.dimension_tables or None,
         faults=faults,
+        kernels=getattr(db, "kernels", True),
     )
 
 

@@ -6,6 +6,11 @@ the scan I/O is charged once, the dimension hash tables are built once per
 distinct structure (via the shared :class:`~.pipeline.RollupCache`), and only
 the per-query probe/filter/aggregate CPU grows with the number of queries —
 exactly the trade-off the paper measures in Test 1 / Figure 10.
+
+Both operators consume the scan as columnar page batches
+(:func:`~.pipeline.scan_columns`): on the default kernel path the batches
+come from the page's cached column arrays, on the tuple fallback they are
+re-decoded per run — identical values, identical accounting.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from typing import List, Sequence
 from ...obs.analyze import OperatorActuals
 from ...schema.lattice import source_can_answer
 from ...schema.query import GroupByQuery
-from .pipeline import ExecContext, QueryPipeline, RollupCache, page_columns
+from .pipeline import ExecContext, QueryPipeline, RollupCache, scan_columns
 from .results import QueryResult
 
 
@@ -63,16 +68,10 @@ class SharedScanHashStarJoin:
             )
             for q in self.queries
         ]
-        n_dims = ctx.schema.n_dims
         actuals = self.actuals
-        for page in self.source.table.scan_pages(ctx.pool):
-            if ctx.faults is not None:
-                ctx.faults.check(
-                    "operator.pipeline",
-                    operator=type(self).__name__,
-                    table=self.source.name,
-                )
-            keys, measures = page_columns(page, n_dims)
+        for page, keys, measures in scan_columns(
+            ctx, self.source, type(self).__name__
+        ):
             actuals.pages_scanned += 1
             actuals.rows_scanned += len(page.rows)
             for pipeline in pipelines:

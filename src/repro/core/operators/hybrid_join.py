@@ -8,20 +8,25 @@ instead of fetching pages at random it tests the bitmap against the rows
 streaming past.  The random-probe I/O disappears entirely; only a small
 bitmap-test CPU cost per index query remains — the behaviour measured in
 Test 3 / Figure 12.
+
+On the default kernel path the scan arrives as cached columnar page
+batches and each index query's filter stays a packed
+:class:`~repro.index.bitmap.Bitmap`, sliced per page with
+:meth:`~repro.index.bitmap.Bitmap.slice_bool`; the tuple fallback decodes
+pages per run and unpacks each filter to a full boolean array.  Both paths
+charge and answer identically.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from ...obs.analyze import OperatorActuals
 from ...obs.metrics import default_registry
 from ...schema.lattice import source_can_answer
 from ...schema.query import GroupByQuery
 from .index_join import query_result_bitmap
-from .pipeline import ExecContext, QueryPipeline, RollupCache, page_columns
+from .pipeline import ExecContext, QueryPipeline, RollupCache, scan_columns
 from .results import QueryResult
 
 
@@ -60,14 +65,21 @@ class SharedHybridStarJoin:
         ctx = self.ctx
         actuals = self.actuals
         # Phase 1 of each index plan is unchanged: build the result bitmap.
-        index_filters = [
-            query_result_bitmap(ctx, self.source, q).to_bool_array()
+        # The kernel path keeps the bitmaps packed and slices out each
+        # page's window of words during the scan; the tuple path unpacks
+        # each bitmap to a full boolean array up front.
+        index_bitmaps = [
+            query_result_bitmap(ctx, self.source, q)
             for q in self.index_queries
         ]
-        for query, bits in zip(self.index_queries, index_filters):
-            actuals.bitmap_popcounts[query.qid] = int(bits.sum())
+        for query, bitmap in zip(self.index_queries, index_bitmaps):
+            actuals.bitmap_popcounts[query.qid] = int(bitmap.count())
             actuals.tuples_tested[query.qid] = 0
             actuals.tuples_routed[query.qid] = 0
+        if ctx.kernels:
+            index_filters: List[object] = index_bitmaps
+        else:
+            index_filters = [bm.to_bool_array() for bm in index_bitmaps]
         rollups = RollupCache(
             ctx.schema, ctx.stats, pool=ctx.pool, dim_tables=ctx.dim_tables
         )
@@ -91,21 +103,16 @@ class SharedHybridStarJoin:
             )
             for q in self.index_queries
         ]
-        n_dims = ctx.schema.n_dims
         capacity = self.source.table.capacity
+        kernels = ctx.kernels
         routed = default_registry().counter(
             "executor.tuples_routed",
             "retrieved tuples tested against a query's result bitmap",
         )
         # Phase 2: one shared sequential scan feeds everybody.
-        for page in self.source.table.scan_pages(ctx.pool):
-            if ctx.faults is not None:
-                ctx.faults.check(
-                    "operator.pipeline",
-                    operator=type(self).__name__,
-                    table=self.source.name,
-                )
-            keys, measures = page_columns(page, n_dims)
+        for page, keys, measures in scan_columns(
+            ctx, self.source, type(self).__name__
+        ):
             actuals.pages_scanned += 1
             actuals.rows_scanned += len(page.rows)
             for pipe in hash_pipes:
@@ -120,7 +127,11 @@ class SharedHybridStarJoin:
                 ctx.stats.charge_bitmap_test(len(page.rows))
                 routed.inc(len(page.rows))
                 actuals.tuples_tested[query.qid] += len(page.rows)
-                mine = bits[start:stop]
+                if kernels:
+                    # Unpack only this page's window of packed words.
+                    mine = bits.slice_bool(start, stop)
+                else:
+                    mine = bits[start:stop]
                 if not mine.any():
                     continue
                 actuals.tuples_routed[query.qid] += int(mine.sum())

@@ -6,6 +6,13 @@ members within each dimension and AND-ing across dimensions.  The shared
 operator then ORs the per-query result bitmaps, probes the base table once
 with the union, and routes each retrieved tuple to the queries whose own
 bitmap has that position set (the paper's "Filter tuples" operators).
+
+On the default kernel path the probe phase is a vectorized columnar gather
+(:meth:`~repro.storage.table.HeapTable.fetch_positions`) and routing tests
+positions directly against the packed bitmap words
+(:meth:`~repro.index.bitmap.Bitmap.test_positions`); the tuple fallback
+fetches row by row and unpacks each bitmap to booleans.  Costs and results
+are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -101,8 +108,16 @@ def _probe_and_collect(
     ctx: ExecContext, entry: TableEntry, positions: np.ndarray
 ) -> Tuple[List[np.ndarray], np.ndarray]:
     """Fetch rows at ``positions`` (random page reads through the pool) and
-    return them column-wise, in position order."""
+    return them column-wise, in position order.
+
+    The kernel path gathers from each touched page's cached column arrays
+    (:meth:`~repro.storage.table.HeapTable.fetch_positions`); the tuple
+    path walks :meth:`~repro.storage.table.HeapTable.probe_positions` row
+    by row.  Both charge one random read per page change in first-touch
+    order."""
     n_dims = ctx.schema.n_dims
+    if ctx.kernels:
+        return entry.table.fetch_positions(ctx.pool, positions, n_dims)
     if positions.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return [empty] * n_dims, np.empty(0, dtype=np.float64)
@@ -241,9 +256,14 @@ class SharedIndexStarJoin:
                 )
             ctx.stats.charge_bitmap_test(positions.size)
             routed.inc(int(positions.size))
-            mine = bitmap.to_bool_array()[positions] if positions.size else (
-                np.empty(0, dtype=bool)
-            )
+            if positions.size == 0:
+                mine = np.empty(0, dtype=bool)
+            elif ctx.kernels:
+                # Packed-word routing: gather each position's covering
+                # word and mask its bit — no full-bitmap unpack.
+                mine = bitmap.test_positions(positions)
+            else:
+                mine = bitmap.to_bool_array()[positions]
             actuals.bitmap_popcounts[query.qid] = int(bitmap.count())
             actuals.tuples_tested[query.qid] = int(positions.size)
             actuals.tuples_routed[query.qid] = int(mine.sum())

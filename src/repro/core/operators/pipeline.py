@@ -15,7 +15,7 @@ several hash tables on the same dimension tables").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,13 @@ class ExecContext:
     ``faults`` carries an armed :class:`repro.faults.FaultPlan` (or None);
     operators pass it to index lookups and check the ``operator.pipeline``
     site per page batch.
+
+    ``kernels`` selects the execution path of the shared operators:
+    ``True`` (default) runs the vectorized columnar batch kernels — cached
+    per-page column arrays, vectorized positional fetches, packed-word
+    bitmap routing; ``False`` runs the original per-tuple path.  The two
+    paths are byte-identical in results, simulated cost, and recorded
+    :class:`~repro.obs.analyze.OperatorActuals`; only wall time differs.
     """
 
     schema: StarSchema
@@ -54,6 +61,7 @@ class ExecContext:
     dim_tables: Optional[Dict[str, object]] = None
     tracer: object = field(default=NULL_TRACER)
     faults: Optional[object] = None
+    kernels: bool = True
 
     def entry(self, table_name: str) -> TableEntry:
         """Catalog entry by table name."""
@@ -72,6 +80,45 @@ def page_columns(
     keys = [matrix[:, d].astype(np.int64) for d in range(n_dims)]
     measures = matrix[:, n_dims]
     return keys, measures
+
+
+def scan_columns(
+    ctx: ExecContext, entry: TableEntry, operator_name: str
+) -> "Iterator[Tuple[Page, List[np.ndarray], np.ndarray]]":
+    """One shared sequential scan yielding per-page column batches.
+
+    Checks the ``operator.pipeline`` fault site once per page (after the
+    page read is charged, as the operators always have), then decodes the
+    page: through the cached columnar view on the kernel path
+    (:meth:`~repro.storage.page.Page.columns` via
+    :meth:`~repro.storage.table.HeapTable.scan_batches`), or with a fresh
+    per-run :func:`page_columns` decode on the tuple path.  Both shared
+    scan operators (hash and hybrid) drive their pipelines from this one
+    stream, so the two paths cannot drift apart.
+    """
+    n_dims = ctx.schema.n_dims
+    faults = ctx.faults
+    if ctx.kernels:
+        for page, keys, measures in entry.table.scan_batches(
+            ctx.pool, n_dims
+        ):
+            if faults is not None:
+                faults.check(
+                    "operator.pipeline",
+                    operator=operator_name,
+                    table=entry.name,
+                )
+            yield page, keys, measures
+    else:
+        for page in entry.table.scan_pages(ctx.pool):
+            if faults is not None:
+                faults.check(
+                    "operator.pipeline",
+                    operator=operator_name,
+                    table=entry.name,
+                )
+            keys, measures = page_columns(page, n_dims)
+            yield page, keys, measures
 
 
 class RollupCache:

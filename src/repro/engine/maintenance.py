@@ -87,7 +87,8 @@ def _merge_into_view(
             merged = min(current, value)
         else:
             merged = max(current, value)
-        view.table._pages[page_no].rows[slot] = key + (merged,)  # noqa: SLF001
+        # Page.update also drops the page's cached columnar view.
+        view.table._pages[page_no].update(slot, key + (merged,))  # noqa: SLF001
     return appended
 
 

@@ -164,6 +164,39 @@ class Bitmap:
         bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
         return bits[: self.n_bits].astype(bool)
 
+    def test_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean membership of each position, straight off the packed
+        words (gather the covering word, shift, mask) — no full-bitmap
+        unpack and no per-tuple loop.  This is the routing kernel of the
+        shared index join's "Filter tuples" step."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=bool)
+        if int(positions.min()) < 0 or int(positions.max()) >= self.n_bits:
+            raise IndexError("position out of bitmap range")
+        words = self.words[positions // WORD_BITS]
+        shifts = (positions % WORD_BITS).astype(np.uint64)
+        return ((words >> shifts) & np.uint64(1)).astype(bool)
+
+    def slice_bool(self, start: int, stop: int) -> np.ndarray:
+        """Boolean array for positions ``start .. stop-1``, unpacking only
+        the covering words (a page-aligned slice touches ~capacity/64
+        words, not the whole bitmap)."""
+        if not 0 <= start <= stop <= self.n_bits:
+            raise IndexError(
+                f"slice [{start}, {stop}) out of range 0..{self.n_bits}"
+            )
+        if start == stop:
+            return np.empty(0, dtype=bool)
+        first_word = start // WORD_BITS
+        last_word = (stop + WORD_BITS - 1) // WORD_BITS
+        bits = np.unpackbits(
+            self.words[first_word:last_word].view(np.uint8),
+            bitorder="little",
+        )
+        offset = start - first_word * WORD_BITS
+        return bits[offset : offset + (stop - start)].astype(bool)
+
     def iter_positions(self) -> Iterator[int]:
         """Iterate set positions in ascending order."""
         return iter(self.positions().tolist())

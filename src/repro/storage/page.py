@@ -1,4 +1,4 @@
-"""Fixed-width slotted pages.
+"""Fixed-width slotted pages with a columnar mirror.
 
 A :class:`Page` holds up to ``capacity`` fixed-width rows.  Rows are plain
 Python tuples — the first columns are integer dimension keys and the last
@@ -6,13 +6,30 @@ column is the numeric measure.  The byte-level layout is only *accounted*
 (row width in bytes drives page capacity and hence I/O cost), not actually
 serialized; this keeps the engine pure-Python fast while preserving the
 paper's I/O arithmetic (e.g. its 20-byte, five-attribute base tuples).
+
+Each page additionally exposes a **columnar view** (:meth:`Page.columns`):
+per-dimension ``int64`` key arrays plus the ``float64`` measure column,
+decoded from the row tuples once and cached on the page.  The vectorized
+batch kernels (see :mod:`repro.core.operators`) read this view, so a page
+is decoded at most once over the life of the table instead of once per
+operator execution per scan — the heart of the columnar row-batch layout.
+The cache is invalidated on append, and the arrays hold exactly the values
+the per-run decode (:func:`repro.core.operators.pipeline.page_columns`)
+would produce, which keeps the kernel and tuple execution paths
+byte-identical.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 Row = Tuple  # a fixed-width tuple of ints (keys) and a numeric measure
+
+#: A page's columnar view: per-key ``int64`` arrays and the ``float64``
+#: measure column, aligned by slot.
+ColumnBatch = Tuple[List[np.ndarray], np.ndarray]
 
 #: Default page size, matching the common 8 KB database page.
 DEFAULT_PAGE_SIZE = 8192
@@ -42,7 +59,7 @@ class Page:
     workloads this engine serves.
     """
 
-    __slots__ = ("page_no", "capacity", "rows")
+    __slots__ = ("page_no", "capacity", "rows", "_columns")
 
     def __init__(self, page_no: int, capacity: int):
         if capacity <= 0:
@@ -50,6 +67,9 @@ class Page:
         self.page_no = page_no
         self.capacity = capacity
         self.rows: List[Row] = []
+        #: Cached columnar view, ``(n_keys, key_arrays, measures)``;
+        #: dropped whenever the page grows.
+        self._columns: Optional[Tuple[int, List[np.ndarray], np.ndarray]] = None
 
     @property
     def is_full(self) -> bool:
@@ -61,7 +81,39 @@ class Page:
         if self.is_full:
             raise ValueError(f"page {self.page_no} is full")
         self.rows.append(row)
+        self._columns = None
         return len(self.rows) - 1
+
+    def columns(self, n_keys: int) -> ColumnBatch:
+        """The page's columnar view: ``n_keys`` ``int64`` key arrays and the
+        ``float64`` measure column (the column at index ``n_keys``).
+
+        Decoded from the row tuples on first use and cached; appends drop
+        the cache.  The values are exactly what a fresh per-scan decode of
+        the tuples yields, so operators may mix this with the tuple path
+        without observable difference.
+        """
+        cached = self._columns
+        if cached is not None and cached[0] == n_keys:
+            return cached[1], cached[2]
+        if not self.rows:
+            empty_key = np.empty(0, dtype=np.int64)
+            keys: List[np.ndarray] = [empty_key] * n_keys
+            measures = np.empty(0, dtype=np.float64)
+        else:
+            matrix = np.asarray(self.rows, dtype=np.float64)
+            keys = [matrix[:, d].astype(np.int64) for d in range(n_keys)]
+            measures = matrix[:, n_keys]
+        self._columns = (n_keys, keys, measures)
+        return keys, measures
+
+    def update(self, slot: int, row: Row) -> None:
+        """Overwrite the row at ``slot`` (in-place view maintenance).
+
+        Every mutation must come through :meth:`append` or here so the
+        cached columnar view is dropped with it."""
+        self.rows[slot] = row
+        self._columns = None
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Append each element in order."""

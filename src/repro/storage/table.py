@@ -6,13 +6,18 @@ bitmap join indexes use these positions as bit offsets, exactly like the
 paper's "position based" join indexes.
 
 Scans and probes go through the owning :class:`~repro.storage.buffer.BufferPool`
-so that sequential vs. random I/O is accounted.
+so that sequential vs. random I/O is accounted.  The columnar access paths
+(:meth:`HeapTable.scan_batches`, :meth:`HeapTable.fetch_positions`) yield
+page-sized column batches with identical accounting; the batch kernels in
+:mod:`repro.core.operators` are built on them.
 """
 
 from __future__ import annotations
 
 import itertools
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
 
 from ..obs.metrics import default_registry
 from .page import DEFAULT_PAGE_SIZE, Page, Row, rows_per_page
@@ -128,6 +133,71 @@ class HeapTable:
         ).inc(self.n_pages)
         for page_no in range(self.n_pages):
             yield pool.get_page(self, page_no, sequential=True)
+
+    def scan_batches(
+        self, pool: "BufferPool", n_keys: int
+    ) -> Iterator[Tuple[Page, List[np.ndarray], np.ndarray]]:
+        """Columnar sequential scan: yield each page together with its
+        cached column arrays (``n_keys`` int64 key columns + the float64
+        measure column).
+
+        I/O accounting, metrics, and fault checks are exactly those of
+        :meth:`scan_pages` — the columnar decode itself is free on the
+        simulated clock (it models reading a column-laid-out page image),
+        and cached across scans, which is where the batch kernels win
+        wall time.
+        """
+        for page in self.scan_pages(pool):
+            keys, measures = page.columns(n_keys)
+            yield page, keys, measures
+
+    def fetch_positions(
+        self, pool: "BufferPool", positions: np.ndarray, n_keys: int
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Vectorized positional fetch: gather the rows at ``positions``
+        column-wise, in input order.
+
+        Charges exactly what iterating :meth:`probe_positions` would: one
+        random page read per *page change* in first-touch order (a revisit
+        after an intervening page re-fetches, as there), the same
+        ``table.probe_pages`` metric, and the same per-read fault checks —
+        only the per-tuple Python loop is gone.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return [empty] * n_keys, np.empty(0, dtype=np.float64)
+        if int(positions.min()) < 0 or int(positions.max()) >= self._n_rows:
+            bad = positions[(positions < 0) | (positions >= self._n_rows)][0]
+            raise IndexError(
+                f"row position {int(bad)} out of range for {self.name!r} "
+                f"({self._n_rows} rows)"
+            )
+        probe_pages = default_registry().counter(
+            "table.probe_pages", "distinct pages fetched by random probes"
+        )
+        page_nos = positions // self.capacity
+        slots = positions % self.capacity
+        # Runs of equal page number, in first-touch order.
+        breaks = np.flatnonzero(np.diff(page_nos)) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), breaks))
+        stops = np.concatenate((breaks, np.asarray([positions.size])))
+        key_parts: List[List[np.ndarray]] = []
+        measure_parts: List[np.ndarray] = []
+        for lo, hi in zip(starts.tolist(), stops.tolist()):
+            page = pool.get_page(self, int(page_nos[lo]), sequential=False)
+            probe_pages.inc()
+            keys, measures = page.columns(n_keys)
+            run = slots[lo:hi]
+            key_parts.append([col[run] for col in keys])
+            measure_parts.append(measures[run])
+        if len(measure_parts) == 1:
+            return key_parts[0], measure_parts[0]
+        gathered = [
+            np.concatenate([part[d] for part in key_parts])
+            for d in range(n_keys)
+        ]
+        return gathered, np.concatenate(measure_parts)
 
     def probe_positions(
         self, pool: "BufferPool", positions: Iterable[int]

@@ -156,3 +156,88 @@ class TestCompareRecords:
             make_record(), make_record(), thresholds={"sim_ms": 0.99}
         )
         assert DEFAULT_THRESHOLDS == before
+
+
+class TestKernelsAndWallFields:
+    def test_round_trip(self, tmp_path):
+        record = make_record()
+        record.kernels = False
+        record.wall = {"calibration_s": 1.25, "total_s": 2.5}
+        path = tmp_path / "BENCH_k.json"
+        record.save(path)
+        loaded = RunRecord.load(path)
+        assert loaded.kernels is False
+        assert loaded.wall == {"calibration_s": 1.25, "total_s": 2.5}
+
+    def test_pre_kernels_records_still_load(self):
+        """Records written before the kernels/wall fields existed."""
+        doc = make_record().to_dict()
+        del doc["kernels"]
+        del doc["wall"]
+        loaded = RunRecord.from_dict(doc)
+        assert loaded.kernels is None
+        assert loaded.wall == {}
+
+    def test_kernels_flag_never_gates(self):
+        """Same fingerprint, different execution path: comparable — the
+        paths are byte-identical in simulated cost by contract."""
+        kernel_record = make_record()
+        kernel_record.kernels = True
+        tuple_record = make_record()
+        tuple_record.kernels = False
+        report = compare_records(kernel_record, tuple_record)
+        assert report.passed
+
+
+class TestLeaderboard:
+    def make_pair(self, tmp_path):
+        from repro.bench.leaderboard import load_records
+
+        fast = make_record()
+        fast.kernels = True
+        fast.wall = {"total_s": 1.0}
+        fast.figures["fig10"][0]["speedup"] = 1.6
+        fast.save(tmp_path / "BENCH_kernels.json")
+        slow = make_record()
+        slow.kernels = False
+        slow.wall = {"total_s": 3.0}
+        slow.figures["fig10"][0]["speedup"] = 1.6
+        slow.save(tmp_path / "BENCH_seed.json")
+        return load_records(tmp_path)
+
+    def test_load_records_globs_and_sorts(self, tmp_path):
+        records = self.make_pair(tmp_path)
+        assert [path.name for path, _r in records] == [
+            "BENCH_kernels.json", "BENCH_seed.json",
+        ]
+
+    def test_render_orders_by_wall(self, tmp_path):
+        from repro.bench.leaderboard import render_leaderboard
+
+        table = render_leaderboard(self.make_pair(tmp_path))
+        lines = table.splitlines()
+        assert lines[0].startswith("| record | path |")
+        assert "BENCH_kernels.json | kernels" in lines[2]
+        assert "BENCH_seed.json | tuple" in lines[3]
+
+    def test_render_summarizes_metrics(self, tmp_path):
+        from repro.bench.leaderboard import render_leaderboard
+
+        table = render_leaderboard(self.make_pair(tmp_path))
+        row = table.splitlines()[2]
+        # gg sim total from the single test4 row; speedup 80/50.
+        assert "| 100.0 |" in row
+        assert "| 1.60x |" in row
+
+    def test_render_empty_raises(self):
+        from repro.bench.leaderboard import render_leaderboard
+
+        with pytest.raises(ValueError):
+            render_leaderboard([])
+
+    def test_load_records_rejects_corrupt_file(self, tmp_path):
+        from repro.bench.leaderboard import load_records
+
+        (tmp_path / "BENCH_bad.json").write_text("{broken")
+        with pytest.raises(ValueError):
+            load_records(tmp_path)

@@ -177,3 +177,50 @@ def test_result_cache_coherent_under_chaos():
             )
     # The cache's coherence invariant held throughout; end-state sanity:
     assert len(cache) <= cache.max_entries
+
+
+def test_fault_outcomes_identical_across_execution_paths():
+    """The kernel path fails exactly like the tuple path: for every site,
+    the same single-shot fault yields the same firing count, the same
+    failed-query positions, and byte-identical surviving groups.  (Kernels
+    must never swallow an InjectedFault mid-batch.)"""
+    from repro.workload.paper_queries import paper_queries
+    from repro.workload.paper_schema import PaperConfig, build_paper_database
+
+    databases = [
+        build_paper_database(config=PaperConfig(scale=0.004), kernels=flag)
+        for flag in (True, False)
+    ]
+    for test_name in ("test1", "test2", "test3"):
+        per_path = []
+        for db in databases:
+            qs = paper_queries(db.schema)
+            queries = [qs[i] for i in CALIBRATION_TESTS[test_name]]
+            position = {q.qid: i for i, q in enumerate(queries)}
+            plan = db.optimize(queries, "gg")
+            outcomes = {}
+            for site in SITES:
+                fault = FaultPlan(
+                    [InjectionPoint(site=site, nth=1)], seed=CHAOS_SEED
+                )
+                db.arm_faults(fault)
+                try:
+                    report = db.execute(plan)
+                finally:
+                    db.disarm_faults()
+                assert all(
+                    isinstance(f.error, InjectedFault)
+                    for f in report.failures
+                )
+                outcomes[site] = {
+                    "n_fired": fault.n_fired,
+                    "failed": sorted(
+                        position[qid] for qid in report.failed_qids
+                    ),
+                    "surviving": {
+                        position[qid]: sorted(result.groups.items())
+                        for qid, result in report.results.items()
+                    },
+                }
+            per_path.append(outcomes)
+        assert per_path[0] == per_path[1], test_name

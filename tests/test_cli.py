@@ -172,3 +172,82 @@ class TestServe:
     def test_serve_rejects_nonpositive_clients(self, capsys):
         assert main(["serve", "--simulate", "--clients", "0", *SCALE]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestBenchUsageErrors:
+    """Exit-2 paths of `repro bench` — all fail before a database build."""
+
+    def test_missing_baseline_exits_2(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--compare", "--label", "nope"]) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_2(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_bad.json").write_text("{broken json")
+        assert main(
+            ["bench", "--compare", "--baseline", "BENCH_bad.json"]
+        ) == 2
+        assert "not a readable benchmark record" in capsys.readouterr().err
+
+    def test_no_action_exits_2(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--record" in capsys.readouterr().err
+
+    def test_leaderboard_rejects_record_combo(self, capsys):
+        assert main(["bench", "--leaderboard", "--record"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_leaderboard_empty_dir_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--leaderboard", "--dir", str(tmp_path)]) == 2
+        assert "no BENCH_*.json records" in capsys.readouterr().err
+
+
+class TestBenchLeaderboard:
+    def make_record_file(self, directory, name, kernels, total_s):
+        from repro.bench.history import RunRecord
+
+        RunRecord(
+            label=name,
+            created_at="2026-08-07T00:00:00",
+            fingerprint={"schema": "t"},
+            tests={"test4": [
+                {"algorithm": "gg", "sim_ms": 10.0, "est_ms": 10.0},
+            ]},
+            kernels=kernels,
+            wall={"total_s": total_s},
+        ).save(directory / f"BENCH_{name}.json")
+
+    def test_leaderboard_renders_markdown(self, tmp_path, capsys):
+        self.make_record_file(tmp_path, "kernels", True, 1.0)
+        self.make_record_file(tmp_path, "seed", False, 4.0)
+        assert main(["bench", "--leaderboard", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| record | path |")
+        assert out.index("BENCH_kernels.json") < out.index("BENCH_seed.json")
+
+    def test_leaderboard_writes_output_file(self, tmp_path, capsys):
+        self.make_record_file(tmp_path, "kernels", True, 1.0)
+        target = tmp_path / "board.md"
+        assert main([
+            "bench", "--leaderboard", "--dir", str(tmp_path),
+            "--output", str(target),
+        ]) == 0
+        assert "leaderboard" in capsys.readouterr().out
+        assert target.read_text().startswith("| record | path |")
+
+
+class TestTuplePathFlag:
+    def test_tuple_path_runs_identically(self, capsys):
+        import re
+
+        def normalized(text):
+            # Wall clock is the one legitimate difference between paths.
+            return re.sub(r"wall [\d.]+ ms", "wall - ms", text)
+
+        mdx = "{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D.DD1)"
+        assert main(["run", *SCALE, mdx]) == 0
+        kernel_out = capsys.readouterr().out
+        assert main(["run", *SCALE, "--tuple-path", mdx]) == 0
+        tuple_out = capsys.readouterr().out
+        assert normalized(kernel_out) == normalized(tuple_out)

@@ -1,5 +1,6 @@
 """Unit tests for fixed-width pages."""
 
+import numpy as np
 import pytest
 
 from repro.storage.page import (
@@ -75,3 +76,56 @@ class TestPackRows:
 
     def test_empty(self):
         assert pack_rows([], n_columns=3) == []
+
+
+class TestColumns:
+    def test_values_match_rows(self):
+        page = Page(0, capacity=8)
+        page.extend([(i, i % 3, float(i) * 1.5) for i in range(5)])
+        keys, measures = page.columns(2)
+        assert [k.dtype == np.int64 for k in keys] == [True, True]
+        assert measures.dtype == np.float64
+        assert keys[0].tolist() == [0, 1, 2, 3, 4]
+        assert keys[1].tolist() == [0, 1, 2, 0, 1]
+        assert measures.tolist() == [0.0, 1.5, 3.0, 4.5, 6.0]
+
+    def test_cached_between_calls(self):
+        page = Page(0, capacity=4)
+        page.extend([(1, 2.0), (3, 4.0)])
+        first = page.columns(1)
+        second = page.columns(1)
+        assert first[0][0] is second[0][0]
+        assert first[1] is second[1]
+
+    def test_append_invalidates_cache(self):
+        page = Page(0, capacity=4)
+        page.append((1, 2.0))
+        keys, _measures = page.columns(1)
+        assert keys[0].tolist() == [1]
+        page.append((7, 8.0))
+        keys, measures = page.columns(1)
+        assert keys[0].tolist() == [1, 7]
+        assert measures.tolist() == [2.0, 8.0]
+
+    def test_n_keys_change_rebuilds(self):
+        page = Page(0, capacity=4)
+        page.append((1, 2, 3.0))
+        keys2, measures2 = page.columns(2)
+        keys1, measures1 = page.columns(1)
+        assert len(keys2) == 2 and measures2.tolist() == [3.0]
+        assert len(keys1) == 1 and measures1.tolist() == [2.0]
+
+    def test_empty_page(self):
+        page = Page(0, capacity=4)
+        keys, measures = page.columns(3)
+        assert [k.size for k in keys] == [0, 0, 0]
+        assert measures.size == 0
+
+    def test_update_invalidates_cache(self):
+        page = Page(0, capacity=4)
+        page.append((1, 2.0))
+        assert page.columns(1)[1].tolist() == [2.0]
+        page.update(0, (1, 9.0))
+        keys, measures = page.columns(1)
+        assert keys[0].tolist() == [1]
+        assert measures.tolist() == [9.0]
