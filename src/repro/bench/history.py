@@ -116,23 +116,52 @@ class RunRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunRecord":
+        """Build a record from parsed JSON, validating field *types*.
+
+        A committed record whose layout has drifted (a ``wall`` list, a
+        string ``total_s``, non-dict test rows, …) must fail here with a
+        :class:`ValueError` naming the bad field — not as an
+        ``AttributeError``/``TypeError`` traceback deep inside the
+        leaderboard renderer or the regression gate.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"record must be a JSON object, got {type(data).__name__}"
+            )
         version = data.get("version", 0)
+        if not isinstance(version, int):
+            raise ValueError(
+                f"field 'version' must be an integer, got "
+                f"{type(version).__name__}"
+            )
         if version > RECORD_VERSION:
             raise ValueError(
                 f"record version {version} is newer than supported "
                 f"({RECORD_VERSION}); refusing to mis-compare"
             )
-        return cls(
-            label=data.get("label", "?"),
-            created_at=data.get("created_at", ""),
-            fingerprint=data.get("fingerprint", {}),
-            figures=data.get("figures", {}),
-            tests=data.get("tests", {}),
-            calibration=data.get("calibration", {}),
+        record = cls(
+            label=_typed(data, "label", str, "?"),
+            created_at=_typed(data, "created_at", str, ""),
+            fingerprint=_typed(data, "fingerprint", dict, {}),
+            figures=_rows_by_name(data, "figures"),
+            tests=_rows_by_name(data, "tests"),
+            calibration=_typed(data, "calibration", dict, {}),
             kernels=data.get("kernels"),
-            wall=data.get("wall", {}),
+            wall=_typed(data, "wall", dict, {}),
             version=version,
         )
+        if record.kernels is not None and not isinstance(record.kernels, bool):
+            raise ValueError(
+                f"field 'kernels' must be a boolean or null, got "
+                f"{type(record.kernels).__name__}"
+            )
+        for key, value in record.wall.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"field 'wall.{key}' must be a number, got "
+                    f"{type(value).__name__}"
+                )
+        return record
 
     def save(self, path: PathLike) -> Path:
         """Write the record as indented JSON; returns the path written."""
@@ -143,6 +172,31 @@ class RunRecord:
     @classmethod
     def load(cls, path: PathLike) -> "RunRecord":
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _typed(data: dict, key: str, expected: type, default):
+    """``data[key]`` when present and of ``expected`` type; the default
+    when absent; :class:`ValueError` otherwise."""
+    value = data.get(key, default)
+    if not isinstance(value, expected):
+        raise ValueError(
+            f"field {key!r} must be a {expected.__name__}, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _rows_by_name(data: dict, key: str) -> Dict[str, List[dict]]:
+    """Validate a ``{name: [row-dict, ...]}`` mapping (figures / tests)."""
+    section = _typed(data, key, dict, {})
+    for name, rows in section.items():
+        if not isinstance(rows, list) or not all(
+            isinstance(row, dict) for row in rows
+        ):
+            raise ValueError(
+                f"field {key!r}[{name!r}] must be a list of objects"
+            )
+    return section
 
 
 def default_record_path(label: str, directory: Optional[PathLike] = None) -> Path:

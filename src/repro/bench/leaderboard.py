@@ -27,11 +27,21 @@ def load_records(
 ) -> List[Tuple[Path, RunRecord]]:
     """Every ``BENCH_*.json`` in ``directory`` (default: current dir),
     sorted by label; unreadable files raise — a committed record that no
-    longer parses is a repo bug, not something to skip silently."""
+    longer parses is a repo bug, not something to skip silently.
+
+    A corrupt or schema-drifted file raises :class:`ValueError` naming
+    *that file* and the parse/validation failure, so the CLI can surface
+    it as a usage error (exit 2) instead of a traceback.
+    """
     base = Path(directory) if directory is not None else Path.cwd()
     out: List[Tuple[Path, RunRecord]] = []
     for path in sorted(base.glob("BENCH_*.json")):
-        out.append((path, RunRecord.load(path)))
+        try:
+            out.append((path, RunRecord.load(path)))
+        except (ValueError, OSError) as exc:
+            # json.JSONDecodeError subclasses ValueError; re-raise either
+            # way with the offending file named.
+            raise ValueError(f"{path.name}: {exc}") from exc
     return out
 
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...schema.query import GroupByQuery
 from ...schema.star import StarSchema
@@ -52,6 +53,20 @@ class QueryResult:
             rows.append((names, value))
         rows.sort(key=lambda item: item[0])
         return rows
+
+    def detached(self, query: Optional[GroupByQuery] = None) -> "QueryResult":
+        """A deep copy the caller owns outright, optionally re-keyed to
+        ``query`` (a semantic twin with a different qid).
+
+        Group keys are tuples of ints and values are floats today, but the
+        copy is a real ``deepcopy`` so a future richer value type cannot
+        silently re-introduce shared mutable state between a caller's copy
+        and the canonical result (or the result cache).
+        """
+        return QueryResult(
+            query=query if query is not None else self.query,
+            groups=copy.deepcopy(self.groups),
+        )
 
     def approx_equals(self, other: "QueryResult", rel_tol: float = 1e-9) -> bool:
         """Same groups with numerically equal values (order-insensitive)."""

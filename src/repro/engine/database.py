@@ -281,8 +281,8 @@ class Database:
 
         The plan is threaded into every execution context this database
         builds (including the parallel executor's isolated per-class
-        contexts) and into the shared buffer pool, so all four injection
-        sites see it.  Pass None — or call :meth:`disarm_faults` — to turn
+        contexts, and the sharded scatter-gather path's per-shard tasks)
+        and into the shared buffer pool, so every injection site sees it.  Pass None — or call :meth:`disarm_faults` — to turn
         injection back off."""
         self.faults = plan
         self.pool.faults = plan
@@ -421,11 +421,24 @@ class Database:
                 future = service.submit(queries)
                 response = future.result(timeout=10.0)
 
+        ``serve(shards=N)`` switches the scheduler to scatter-gather
+        execution over N hash partitions of the data (see
+        :mod:`repro.serve.shard`).
+
         See :mod:`repro.serve` and ``docs/serving.md``.
         """
         from ..serve import QueryService, ServeConfig
 
         return QueryService(self, ServeConfig(**config))
+
+    def build_shards(self, n_shards: int, dim_name: Optional[str] = None):
+        """Hash-partition every catalog table into N data shards (see
+        :func:`repro.serve.shard.build_shards`); the returned
+        :class:`~repro.serve.shard.ShardSet` feeds
+        :func:`~repro.serve.shard.execute_plan_sharded` directly."""
+        from ..serve.shard import build_shards
+
+        return build_shards(self, n_shards, dim_name)
 
     # -- inspection ----------------------------------------------------------------
 

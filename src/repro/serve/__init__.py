@@ -14,6 +14,10 @@ Entry points:
   (``Database.serve(...)`` is a convenience constructor).
 * :func:`run_simulation` / :class:`SimulationConfig` — the simulated
   concurrent-load harness behind ``repro serve --simulate``.
+* :func:`build_shards` / :class:`ShardSet` /
+  :func:`execute_plan_sharded` — scatter-gather execution over N hash
+  partitions of the data (``ServeConfig(shards=N)`` /
+  ``repro serve --simulate --shards N``).
 
 See ``docs/serving.md`` for the architecture and the batching-window
 trade-off.
@@ -31,6 +35,7 @@ from .futures import (
 )
 from .retry import RetryExhausted, RetryPolicy, SimulatedClock, call_with_retry
 from .service import QueryService, ServiceStats
+from .shard import Shard, ShardSet, build_shards, execute_plan_sharded
 from .simulate import SimulationConfig, SimulationReport, run_simulation
 
 __all__ = [
@@ -38,6 +43,10 @@ __all__ = [
     "DeadlineExceeded",
     "MicroBatch",
     "QueryService",
+    "Shard",
+    "ShardSet",
+    "build_shards",
+    "execute_plan_sharded",
     "RequestQuarantined",
     "RetryExhausted",
     "RetryPolicy",

@@ -49,6 +49,12 @@ class ServeConfig:
     exponential backoff charged to the simulated clock between attempts;
     ``degrade`` enables the per-query raw-base-table fallback for queries
     whose shared class keeps failing.
+
+    Sharding knobs (see ``docs/serving.md``): ``shards`` > 1 switches the
+    scheduler to scatter-gather execution over that many hash partitions
+    of the data (:mod:`repro.serve.shard`); ``shard_dim`` names the
+    partition dimension (default: the schema's first).  Sharding requires
+    ``cold`` — each shard runs in a private cold context.
     """
 
     window_ms: float = 10.0
@@ -62,8 +68,17 @@ class ServeConfig:
     backoff_base_ms: float = 50.0
     backoff_multiplier: float = 2.0
     degrade: bool = True
+    shards: int = 1
+    shard_dim: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1 (got {self.shards})")
+        if self.shards > 1 and not self.cold:
+            raise ValueError(
+                "sharded execution requires cold=True (each shard runs "
+                "in a private cold context)"
+            )
         if self.max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1 (got {self.max_attempts})"

@@ -21,16 +21,25 @@ owns the engine and turns the arrival stream into micro-batches:
    :func:`~repro.core.executor.execute_plan_parallel`; results stay
    byte-identical to serial single-session execution (each class runs in
    an isolated cold context).
-5. **Fan-out** — per-query results (deep-ish copies, never shared mutable
-   state) and errors are routed back to each waiting caller's future,
-   with per-request deadlines enforced while queued.
+5. **Fan-out** — per-query results (deep copies via
+   :meth:`~repro.core.operators.results.QueryResult.detached`, never
+   shared mutable state) and errors are routed back to each waiting
+   caller's future, with per-request deadlines enforced while queued.
+
+With ``ServeConfig(shards=N)`` step 4 becomes scatter-gather: the one
+global plan fans out over N hash partitions of the data
+(:mod:`repro.serve.shard`) and partial aggregates merge back per class.
 
 Only the scheduler thread touches the database, so the engine itself needs
 no locking beyond the storage counters the parallel class executor merges.
+:class:`ServiceStats` is the exception — client threads bump admission
+counters while the scheduler bumps the rest — so all its mutations go
+through one lock and readers take :meth:`ServiceStats.snapshot`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import queue
 import threading
@@ -62,8 +71,16 @@ _POLL_S = 0.02
 
 @dataclass
 class ServiceStats:
-    """Cumulative accounting of one service's lifetime (scheduler-owned;
-    read from other threads only for reporting)."""
+    """Cumulative accounting of one service's lifetime.
+
+    Written from two sides — :meth:`QueryService.submit` runs on client
+    threads (admission counters) while the scheduler thread owns the rest
+    — and read from arbitrary threads for live reporting, so every
+    mutation goes through :meth:`record` / :meth:`record_batch` under one
+    internal lock, and reporting reads a consistent :meth:`snapshot`
+    rather than the live object (a torn read could pair a bumped
+    ``n_batches`` with a not-yet-bumped ``sim_ms_total``).
+    """
 
     n_admitted: int = 0
     n_rejected: int = 0
@@ -84,15 +101,37 @@ class ServiceStats:
     sim_ms_total: float = 0.0
     #: Requests per executed batch, in execution order.
     batch_sizes: List[int] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def record(self, **deltas: float) -> None:
+        """Atomically add ``deltas`` to the named counter fields."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def record_batch(self, n_requests: int) -> None:
+        """Append one executed batch's request count."""
+        with self._lock:
+            self.batch_sizes.append(n_requests)
+
+    def snapshot(self) -> "ServiceStats":
+        """A consistent point-in-time copy (own lock, own batch list)."""
+        with self._lock:
+            return dataclasses.replace(
+                self, batch_sizes=list(self.batch_sizes)
+            )
 
     @property
     def coalesce_ratio(self) -> float:
         """Submitted queries per planned query, cache hits excluded from
         the denominator (1.0 = no cross-session sharing at all)."""
-        denominator = self.n_queries_planned + self.n_cache_hits
-        return (
-            self.n_queries_submitted / denominator if denominator else 1.0
-        )
+        with self._lock:
+            denominator = self.n_queries_planned + self.n_cache_hits
+            return (
+                self.n_queries_submitted / denominator if denominator else 1.0
+            )
 
 
 class QueryService:
@@ -126,6 +165,9 @@ class QueryService:
         self._stopped = False
         #: Simulated clock charged by retry backoff (never wall sleeps).
         self.sim_clock = SimulatedClock()
+        #: Lazily built shard partition (scheduler-owned; rebuilt when the
+        #: database mutates).  None until the first sharded execution.
+        self._shard_set = None
         self._retry_policy = RetryPolicy(
             max_attempts=self.config.max_attempts,
             backoff_base_ms=self.config.backoff_base_ms,
@@ -288,13 +330,13 @@ class QueryService:
         try:
             self._queue.put_nowait(request)
         except queue.Full:
-            self.stats.n_rejected += 1
+            self.stats.record(n_rejected=1)
             self._m_rejected.inc()
             raise AdmissionError(
                 f"admission queue full ({self.config.max_queue_depth} "
                 f"request(s) waiting); retry later"
             ) from None
-        self.stats.n_admitted += 1
+        self.stats.record(n_admitted=1)
         self._m_admitted.inc()
         self._m_queue_depth.set(self._queue.qsize())
         return request.future
@@ -340,7 +382,7 @@ class QueryService:
         for request in requests:
             if request.expired(now):
                 waited_ms = (now - request.submitted_s) * 1000.0
-                self.stats.n_timed_out += 1
+                self.stats.record(n_timed_out=1)
                 self._m_timed_out.inc()
                 request.future.set_exception(
                     DeadlineExceeded(
@@ -356,7 +398,7 @@ class QueryService:
         try:
             self._execute_batch(batch)
         except BaseException as exc:  # noqa: BLE001 - routed to callers
-            self.stats.n_failed += len(live)
+            self.stats.record(n_failed=len(live))
             self._m_failed.inc(len(live))
             for request in live:
                 request.future.try_set_exception(exc)
@@ -427,11 +469,40 @@ class QueryService:
                     f"invalid plan: {exc}",
                     plan=plan,
                 ) from exc
+        if config.shards > 1:
+            from .shard import execute_plan_sharded
+
+            return execute_plan_sharded(
+                db,
+                self._shards(),
+                plan,
+                n_workers=config.n_workers,
+                paranoia=paranoia,
+            )
         if config.cold:
             return execute_plan_parallel(db, plan, n_workers=config.n_workers)
         # Warm execution is order-dependent (classes share the pool), so it
         # stays serial.
         return db.execute(plan, cold=False)
+
+    def _shards(self):
+        """The current shard partition, (re)built on first use and after
+        every database mutation (the partition is keyed on the mutation
+        epoch, exactly like the result cache)."""
+        from .shard import build_shards
+
+        if self._shard_set is None or self._shard_set.stale(
+            self.db.data_version
+        ):
+            with self.db.tracer.span(
+                "shard.build",
+                n_shards=self.config.shards,
+                dim=self.config.shard_dim or "",
+            ):
+                self._shard_set = build_shards(
+                    self.db, self.config.shards, self.config.shard_dim
+                )
+        return self._shard_set
 
     def _execute_misses(
         self,
@@ -465,7 +536,7 @@ class QueryService:
 
         def attempt(attempt_no: int) -> None:
             if attempt_no > 1:
-                self.stats.n_retries += 1
+                self.stats.record(n_retries=1)
                 self._m_retries.inc()
             execution = self._run_plan(state["outstanding"], paranoia)
             record(execution)
@@ -557,7 +628,7 @@ class QueryService:
             canonical[query_key(query)] = result
             if cache is not None:
                 cache.put(result)
-        self.stats.n_degraded += 1
+        self.stats.record(n_degraded=1)
         self._m_degraded.inc()
         return None
 
@@ -589,11 +660,10 @@ class QueryService:
             canonical_qid = result.query.qid
             for request, twin in pairs:
                 response = responses[request.request_id]
-                # Each fan-out owns its groups dict: results are treated as
-                # owned values, never shared mutable state.
-                response.results[twin.qid] = QueryResult(
-                    query=twin, groups=dict(result.groups)
-                )
+                # Each fan-out owns a deep copy: a caller mutating its
+                # ServeResponse must never reach the canonical result or
+                # the result cache.
+                response.results[twin.qid] = result.detached(query=twin)
                 if from_cache:
                     response.n_cache_hits += 1
                 elif twin.qid != canonical_qid:
@@ -612,7 +682,7 @@ class QueryService:
                     if req.request_id == request.request_id
                 )
                 cause = quarantined[bad_keys[0]]
-                self.stats.n_quarantined += 1
+                self.stats.record(n_quarantined=1)
                 self._m_quarantined.inc()
                 request.future.try_set_exception(
                     RequestQuarantined(
@@ -631,7 +701,7 @@ class QueryService:
                 # made it — and since _run_batch may already have failed
                 # this future, resolution must not be attempted twice.
                 waited_ms = (now - request.submitted_s) * 1000.0
-                self.stats.n_timed_out += 1
+                self.stats.record(n_timed_out=1)
                 self._m_timed_out.inc()
                 request.future.try_set_exception(
                     DeadlineExceeded(
@@ -646,14 +716,16 @@ class QueryService:
 
         n_planned = batch.n_distinct - len(hits)
         stats = self.stats
-        stats.n_served += n_served
-        stats.n_batches += 1
-        stats.n_queries_submitted += batch.n_submitted
-        stats.n_queries_planned += n_planned
-        stats.n_cache_hits += len(hits)
-        stats.n_duplicates_eliminated += batch.n_duplicates_eliminated
-        stats.sim_ms_total += sim_ms
-        stats.batch_sizes.append(batch.n_requests)
+        stats.record(
+            n_served=n_served,
+            n_batches=1,
+            n_queries_submitted=batch.n_submitted,
+            n_queries_planned=n_planned,
+            n_cache_hits=len(hits),
+            n_duplicates_eliminated=batch.n_duplicates_eliminated,
+            sim_ms_total=sim_ms,
+        )
+        stats.record_batch(batch.n_requests)
         self._m_served.inc(n_served)
         self._m_batches.inc()
         self._m_batch_requests.observe(batch.n_requests)

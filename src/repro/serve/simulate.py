@@ -67,6 +67,10 @@ class SimulationConfig:
     max_attempts: int = 3
     backoff_base_ms: float = 50.0
     degrade: bool = True
+    #: Scatter-gather over N hash partitions of the data (1 = unsharded);
+    #: ``shard_dim`` names the partition dimension (None = the first).
+    n_shards: int = 1
+    shard_dim: Optional[str] = None
 
 
 @dataclass
@@ -93,6 +97,8 @@ class SimulationReport:
     n_retries: int = 0
     n_degraded: int = 0
     n_faults_injected: int = 0
+    #: Data shards the service executed over (1 = unsharded).
+    n_shards: int = 1
     batch_sizes: List[int] = field(default_factory=list)
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -125,7 +131,12 @@ class SimulationReport:
         lines = [
             f"serve simulation: {self.n_clients} client(s), "
             f"{self.n_requests} request(s), {self.n_queries} "
-            f"component query(ies)",
+            f"component query(ies)"
+            + (
+                f", scatter-gather over {self.n_shards} shard(s)"
+                if self.n_shards > 1
+                else ""
+            ),
             f"  served {self.n_served}, rejected {self.n_rejected}, "
             f"timed out {self.n_timed_out}"
             + (f", verified {self.n_verified}" if self.n_verified else ""),
@@ -209,6 +220,8 @@ def run_simulation(
             max_attempts=config.max_attempts,
             backoff_base_ms=config.backoff_base_ms,
             degrade=config.degrade,
+            shards=config.n_shards,
+            shard_dim=config.shard_dim,
         ),
     )
 
@@ -285,7 +298,9 @@ def run_simulation(
             db.disarm_faults()
     wall_s = time.perf_counter() - started
 
-    stats = service.stats
+    # A snapshot, not the live object: client threads may still be
+    # resolving rejections while we read.
+    stats = service.stats.snapshot()
     return SimulationReport(
         n_clients=config.n_clients,
         n_requests=n_requests,
@@ -300,6 +315,7 @@ def run_simulation(
         n_faults_injected=(
             config.faults.n_fired if config.faults is not None else 0
         ),
+        n_shards=config.n_shards,
         wall_s=wall_s,
         batched_sim_ms=stats.sim_ms_total,
         serial_sim_ms=serial_ms,

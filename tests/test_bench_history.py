@@ -241,3 +241,80 @@ class TestLeaderboard:
         (tmp_path / "BENCH_bad.json").write_text("{broken")
         with pytest.raises(ValueError):
             load_records(tmp_path)
+
+    def test_load_records_names_the_corrupt_file(self, tmp_path):
+        """Regression: a corrupt record used to traceback deep inside the
+        renderer; it must fail fast naming the offending file."""
+        from repro.bench.leaderboard import load_records
+
+        good = make_record()
+        good.save(tmp_path / "BENCH_good.json")
+        (tmp_path / "BENCH_rotten.json").write_text("{broken json")
+        with pytest.raises(ValueError, match="BENCH_rotten.json"):
+            load_records(tmp_path)
+
+    def test_load_records_names_the_drifted_file(self, tmp_path):
+        from repro.bench.leaderboard import load_records
+
+        doc = make_record().to_dict()
+        doc["wall"] = ["not", "a", "dict"]
+        (tmp_path / "BENCH_drift.json").write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="BENCH_drift.json") as info:
+            load_records(tmp_path)
+        assert "wall" in str(info.value)
+
+
+class TestRecordTypeValidation:
+    """Schema-drifted records must raise ValueError naming the bad field,
+    never a TypeError/AttributeError later in the pipeline."""
+
+    def drift(self, **overrides):
+        doc = make_record().to_dict()
+        doc.update(overrides)
+        return doc
+
+    @pytest.mark.parametrize(
+        "field_name, bad_value",
+        [
+            ("label", 42),
+            ("created_at", ["2026"]),
+            ("fingerprint", "not-a-dict"),
+            ("figures", "not-a-dict"),
+            ("tests", "not-a-dict"),
+            ("calibration", [1, 2]),
+            ("wall", ["not", "a", "dict"]),
+        ],
+    )
+    def test_wrong_container_type_names_field(self, field_name, bad_value):
+        with pytest.raises(ValueError, match=field_name):
+            RunRecord.from_dict(self.drift(**{field_name: bad_value}))
+
+    def test_non_numeric_wall_value_names_key(self):
+        with pytest.raises(ValueError, match="wall.total_s"):
+            RunRecord.from_dict(self.drift(wall={"total_s": "3.5"}))
+
+    def test_boolean_wall_value_rejected(self):
+        with pytest.raises(ValueError, match="wall.total_s"):
+            RunRecord.from_dict(self.drift(wall={"total_s": True}))
+
+    def test_non_bool_kernels_rejected(self):
+        with pytest.raises(ValueError, match="kernels"):
+            RunRecord.from_dict(self.drift(kernels="yes"))
+
+    def test_rows_must_be_list_of_objects(self):
+        with pytest.raises(ValueError, match="tests"):
+            RunRecord.from_dict(self.drift(tests={"test4": [1, 2, 3]}))
+        with pytest.raises(ValueError, match="figures"):
+            RunRecord.from_dict(self.drift(figures={"fig10": "rows"}))
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            RunRecord.from_dict(self.drift(version="1"))
+
+    def test_non_object_record_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            RunRecord.from_dict(["not", "an", "object"])
+
+    def test_valid_record_still_round_trips(self):
+        record = make_record()
+        assert RunRecord.from_dict(record.to_dict()).label == record.label

@@ -236,6 +236,30 @@ class TestBenchLeaderboard:
         assert "leaderboard" in capsys.readouterr().out
         assert target.read_text().startswith("| record | path |")
 
+    def test_leaderboard_corrupt_record_exits_2(self, tmp_path, capsys):
+        """Regression: a corrupt BENCH file used to traceback; it must be
+        a usage error naming the offending file."""
+        self.make_record_file(tmp_path, "kernels", True, 1.0)
+        (tmp_path / "BENCH_rotten.json").write_text("{broken json")
+        assert main(["bench", "--leaderboard", "--dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "BENCH_rotten.json" in err
+        assert "unreadable benchmark record" in err
+
+    def test_leaderboard_drifted_record_exits_2(self, tmp_path, capsys):
+        import json
+
+        self.make_record_file(tmp_path, "kernels", True, 1.0)
+        drifted = json.loads(
+            (tmp_path / "BENCH_kernels.json").read_text()
+        )
+        drifted["wall"] = {"total_s": "not-a-number"}
+        (tmp_path / "BENCH_drift.json").write_text(json.dumps(drifted))
+        assert main(["bench", "--leaderboard", "--dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "BENCH_drift.json" in err
+        assert "wall.total_s" in err
+
 
 class TestTuplePathFlag:
     def test_tuple_path_runs_identically(self, capsys):

@@ -382,3 +382,117 @@ class TestDatabaseServe:
             query = make_query(1)
             response = service.submit([query]).result(timeout=60.0)
         assert response.result_for(query).groups
+
+
+class TestServiceStatsThreadSafety:
+    """Regression: the scheduler thread mutates ServiceStats while report
+    readers (simulation loop, operators) read it — counters must never
+    tear and snapshots must be internally consistent."""
+
+    def test_concurrent_records_are_exact(self):
+        from repro.serve import ServiceStats
+
+        stats = ServiceStats()
+        n_threads, n_iterations = 8, 400
+
+        def hammer():
+            for _ in range(n_iterations):
+                stats.record(n_served=1, n_admitted=2, sim_ms_total=0.5)
+                stats.record_batch(4)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * n_iterations
+        assert stats.n_served == total
+        assert stats.n_admitted == 2 * total
+        assert stats.sim_ms_total == pytest.approx(0.5 * total)
+        assert len(stats.batch_sizes) == total
+
+    def test_snapshot_never_observes_torn_counts(self):
+        from repro.serve import ServiceStats
+
+        stats = ServiceStats()
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                # One atomic record: the two counters move in lockstep.
+                stats.record(n_served=1, n_batches=1)
+
+        def reader():
+            for _ in range(2000):
+                snap = stats.snapshot()
+                if snap.n_served != snap.n_batches:
+                    torn.append((snap.n_served, snap.n_batches))
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        try:
+            reader()
+        finally:
+            stop.set()
+            writer_thread.join()
+        assert not torn
+
+    def test_snapshot_is_detached(self):
+        from repro.serve import ServiceStats
+
+        stats = ServiceStats()
+        stats.record(n_served=3)
+        stats.record_batch(2)
+        snap = stats.snapshot()
+        stats.record(n_served=4)
+        stats.record_batch(9)
+        assert snap.n_served == 3
+        assert snap.batch_sizes == [2]
+        snap.batch_sizes.append(99)
+        assert stats.batch_sizes == [2, 9]
+
+
+class TestFanOutDeepCopy:
+    """Regression: fan-out used to hand duplicate requests shallow-ish
+    copies of the canonical result — a caller mutating its response could
+    corrupt what the result cache replays to later requests."""
+
+    def test_caller_mutation_cannot_poison_the_cache(self, db):
+        from repro.engine.result_cache import attach_cache
+
+        cache = attach_cache(db)
+        service = QueryService(db, ServeConfig(window_ms=20.0))
+        first = make_query(2)
+        future = service.submit([first])
+        service.start()
+        try:
+            result = future.result(timeout=30.0).result_for(first)
+            key = sorted(result.groups)[0]
+            clean = result.groups[key]
+            # Caller scribbles over its copy of the response.
+            result.groups[key] += 1e6
+            result.groups["bogus"] = -1.0
+            # A later semantically-identical query replays from the cache.
+            again = make_query(2)
+            replay = service.submit([again]).result(timeout=30.0)
+            replayed = replay.result_for(again)
+        finally:
+            service.stop()
+        assert cache.stats.hits >= 1
+        assert "bogus" not in replayed.groups
+        assert replayed.groups[key] == pytest.approx(clean)
+
+    def test_detached_results_share_nothing(self, db):
+        query = make_query(3)
+        plan = db.optimize([query], "gg")
+        report = execute_plan_parallel(db, plan)
+        original = report.result_for(query)
+        twin = make_query(3)
+        copy = original.detached(query=twin)
+        assert copy.query is twin
+        assert copy.groups == original.groups
+        assert copy.groups is not original.groups
+        key = sorted(copy.groups)[0]
+        copy.groups[key] += 1.0
+        assert original.groups[key] == pytest.approx(copy.groups[key] - 1.0)
