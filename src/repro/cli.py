@@ -310,6 +310,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable per-query raw-table fallback; still-failing queries "
         "are quarantined instead",
     )
+    serve.add_argument(
+        "--flight-recorder", metavar="FILE", default=None,
+        help="dump the service's flight recorder (the last N batch traces "
+        "plus fault/retry/quarantine events) to FILE as JSON after the "
+        "run; the same path receives an automatic dump if a batch fails "
+        "wholesale (see docs/observability.md)",
+    )
+    serve.add_argument(
+        "--recorder-size", type=int, default=32, metavar="N",
+        help="flight-recorder ring capacity in entries (default 32; "
+        "0 disables recording and per-batch tracing)",
+    )
+    serve.add_argument(
+        "--stats-json", metavar="FILE", default=None,
+        help="write the full metrics registry (serve.stage.* latency "
+        "breakdowns included) as a versioned JSON snapshot after the run",
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="run a small workload and expose the metrics registry as "
+        "Prometheus text or a JSON snapshot",
+        description="Execute one paper test's queries to populate the "
+        "metrics registry, then render it in the Prometheus text "
+        "exposition format (default) or as the versioned JSON snapshot.  "
+        "Either way the output is parsed back and checked against the "
+        "registry before the command exits (exit 1 on disagreement).",
+    )
+    _add_scale(metrics_cmd)
+    metrics_cmd.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="exposition format (default prometheus)",
+    )
+    metrics_cmd.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the exposition to a file instead of stdout",
+    )
+    metrics_cmd.add_argument(
+        "--test", default="test4",
+        help="paper test whose queries populate the registry "
+        "(default test4); one of: " + ", ".join(PAPER_TESTS),
+    )
+    metrics_cmd.add_argument(
+        "--algorithm", default="gg", choices=ALGORITHMS,
+        help="optimizer for the workload (default gg)",
+    )
 
     report_cmd = sub.add_parser(
         "report", help="run every paper experiment; emit a markdown report"
@@ -528,6 +574,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--retries must be >= 1")
     if args.shards < 1:
         raise CliError("--shards must be >= 1")
+    if args.recorder_size < 0:
+        raise CliError("--recorder-size must be >= 0")
+    if args.flight_recorder and args.recorder_size == 0:
+        raise CliError(
+            "--flight-recorder needs a nonzero --recorder-size "
+            "(0 disables recording)"
+        )
     fault_plan = None
     if args.faults:
         from .faults import parse_fault_plan
@@ -562,6 +615,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         degrade=not args.no_degrade,
         n_shards=args.shards,
         shard_dim=args.shard_dim,
+        flight_recorder=args.recorder_size,
+        flight_recorder_path=args.flight_recorder,
     )
     print(
         f"simulating {config.n_clients} client(s) x "
@@ -575,6 +630,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     report = run_simulation(db, config)
     print()
     print(report.render())
+    if args.flight_recorder and report.recorder is not None:
+        path = report.recorder.dump(args.flight_recorder)
+        print(
+            f"\nflight recorder ({len(report.recorder)} entry(ies), "
+            f"{report.recorder.n_recorded} recorded) -> {path}"
+        )
+    if args.stats_json:
+        from .obs.expose import write_metrics_json
+
+        print(f"metrics snapshot -> {write_metrics_json(args.stats_json)}")
     if (
         fault_plan is None
         and args.shards == 1
@@ -590,6 +655,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.expose import (
+        metrics_snapshot,
+        parse_prometheus,
+        render_prometheus,
+        snapshot_agrees,
+    )
+    from .obs.metrics import default_registry
+
+    if args.test not in PAPER_TESTS:
+        raise CliError(
+            f"unknown test {args.test!r}; choose from {list(PAPER_TESTS)}"
+        )
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    qs = paper_queries(db.schema)
+    queries = [qs[i] for i in PAPER_TESTS[args.test]]
+    plan = db.optimize(queries, args.algorithm)
+    db.execute(plan)
+
+    registry = default_registry()
+    flat = registry.as_dict()
+    if args.format == "json":
+        snapshot = metrics_snapshot(registry)
+        if not snapshot_agrees(snapshot, flat):
+            print(
+                "error: JSON snapshot disagrees with the registry dump",
+                file=sys.stderr,
+            )
+            return 1
+        text = json.dumps(snapshot, indent=2, allow_nan=False) + "\n"
+    else:
+        text = render_prometheus(registry)
+        parsed = parse_prometheus(text)  # raises ValueError on bad lines
+        from .obs.expose import sanitize_name
+
+        missing = {
+            sanitize_name(name) for name in flat
+        } - set(parsed)
+        if missing:
+            print(
+                f"error: exposition lost metric(s): {sorted(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(
+            f"{len(flat)} metric(s) ({args.format}) -> {args.output}"
+        )
+    else:
+        print(text, end="")
     return 0
 
 
@@ -730,6 +853,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "explain": _cmd_explain,
     "calibrate": _cmd_calibrate,
+    "metrics": _cmd_metrics,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "report": _cmd_report,

@@ -450,7 +450,12 @@ def execute_plan(
 
 def _isolated_context(db: "Database") -> ExecContext:
     """A private cold ExecContext: fresh pool + clock, shared read-only
-    catalog/schema, and the database's armed fault plan (if any)."""
+    catalog/schema, and the database's armed fault plan (if any).
+
+    The context starts with the NULL tracer; the parallel/sharded
+    executors bind the live tracer to the context's private stats
+    (``tracer.bound(ctx.stats)``) before handing it to a worker, so
+    operator spans charge the task's own cost clock."""
     stats = IOStats(rates=db.stats.rates)
     pool = BufferPool(stats, capacity_pages=db.pool.capacity_pages)
     faults = getattr(db, "faults", None)
@@ -474,9 +479,11 @@ def run_class_isolated(db: "Database", plan_class: PlanClass) -> ClassExecution:
     because a fresh pool is indistinguishable from a just-flushed shared
     pool, the class's results *and* its simulated cost are byte-identical
     to what ``execute_plan(..., cold=True)`` measures serially — worker
-    interleaving cannot perturb either.  The tracer is deliberately not
-    threaded through: spans nest on a per-tracer stack that is not safe to
-    grow from several threads at once.
+    interleaving cannot perturb either.  Span stacks are per thread, so
+    the parallel executor *does* thread the tracer through: it pre-creates
+    an ``execute.class`` span per task with an explicit ``parent=`` link
+    (deterministic plan order) and a ``stats=`` binding to the task's
+    private clock; this standalone helper keeps the NULL tracer.
 
     An :class:`~repro.faults.InjectedFault` propagates to the caller; the
     parallel executor wraps this in :func:`_run_class_guarded` to convert
@@ -496,28 +503,45 @@ def run_class_isolated(db: "Database", plan_class: PlanClass) -> ClassExecution:
 
 
 def _run_class_guarded(
-    db: "Database", plan_class: PlanClass
+    db: "Database",
+    plan_class: PlanClass,
+    ctx: Optional[ExecContext] = None,
+    span=None,
 ) -> "ClassExecution | ClassFailure":
     """Like :func:`run_class_isolated`, but an injected fault becomes a
-    :class:`ClassFailure` carrying the cost charged before the abort."""
-    ctx = _isolated_context(db)
-    started = time.perf_counter()
-    try:
-        results, actuals = run_class_accounted(ctx, plan_class)
-    except InjectedFault as exc:
-        return ClassFailure(
+    :class:`ClassFailure` carrying the cost charged before the abort.
+
+    ``ctx`` and ``span`` let the parallel executor pre-create the task's
+    isolated context and its ``execute.class`` span on the scheduling
+    thread (explicit cross-thread parent handoff); the worker enters the
+    span here, on its own thread-local stack.
+    """
+    if ctx is None:
+        ctx = _isolated_context(db)
+    if span is None:
+        span = ctx.tracer.span("execute.class", source=plan_class.source)
+    with span:
+        started = time.perf_counter()
+        try:
+            results, actuals = run_class_accounted(ctx, plan_class)
+        except InjectedFault as exc:
+            span.set("failed", True)
+            span.set("error", str(exc))
+            return ClassFailure(
+                plan_class=plan_class,
+                error=exc,
+                sim=ctx.stats,
+                wall_s=time.perf_counter() - started,
+            )
+        span.set("sim_ms", round(ctx.stats.total_ms, 3))
+        span.set("est_ms", round(plan_class.est_cost_ms, 3))
+        return ClassExecution(
             plan_class=plan_class,
-            error=exc,
+            results=results,
             sim=ctx.stats,
             wall_s=time.perf_counter() - started,
+            actuals=actuals,
         )
-    return ClassExecution(
-        plan_class=plan_class,
-        results=results,
-        sim=ctx.stats,
-        wall_s=time.perf_counter() - started,
-        actuals=actuals,
-    )
 
 
 def execute_plan_parallel(
@@ -561,20 +585,46 @@ def execute_plan_parallel(
         paranoia=paranoia,
         parallel=True,
         n_workers=n_workers,
-    ):
+    ) as plan_span:
         if paranoia:
             _validate_paranoid(db, plan, db.tracer)
         classes = list(plan.classes)
         if not classes:
             return report
+        # Pre-create each task's isolated context and its span on this
+        # thread, in plan order: the explicit parent= link pins sibling
+        # order deterministically, and the stats= binding makes each span's
+        # sim delta the task's private clock (the shared clock is merged
+        # concurrently by other workers).  With tracing off this costs one
+        # no-op span per class.
+        traced = db.tracer.enabled
+        tasks = []
+        for plan_class in classes:
+            ctx = _isolated_context(db)
+            if traced:
+                ctx.tracer = db.tracer.bound(ctx.stats)
+            span = db.tracer.span(
+                "execute.class",
+                parent=plan_span,
+                stats=ctx.stats,
+                source=plan_class.source,
+                n_queries=len(plan_class.queries),
+                methods=[p.method.name for p in plan_class.plans],
+            )
+            tasks.append((plan_class, ctx, span))
         if len(classes) == 1 or n_workers == 1:
-            outcomes = [_run_class_guarded(db, pc) for pc in classes]
+            outcomes = [
+                _run_class_guarded(db, pc, ctx, span)
+                for pc, ctx, span in tasks
+            ]
         else:
             with ThreadPoolExecutor(
                 max_workers=min(n_workers, len(classes))
             ) as workers:
                 outcomes = list(
-                    workers.map(lambda pc: _run_class_guarded(db, pc), classes)
+                    workers.map(
+                        lambda task: _run_class_guarded(db, *task), tasks
+                    )
                 )
         for outcome in outcomes:
             db.stats.merge_from(outcome.sim)

@@ -291,6 +291,13 @@ class Database:
         """Turn fault injection off (idempotent)."""
         self.arm_faults(None)
 
+    def flight_recorder(self):
+        """The serving-plane flight recorder, when a
+        :class:`~repro.serve.service.QueryService` with recording enabled
+        has attached to this database (None otherwise).  See
+        :mod:`repro.obs.recorder` and ``docs/observability.md``."""
+        return getattr(self, "_flight_recorder", None)
+
     @contextmanager
     def trace(
         self,

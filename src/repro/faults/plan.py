@@ -202,6 +202,14 @@ class FaultPlan:
         with self._lock:
             return len(self.fired)
 
+    def events_since(self, start: int) -> List[FaultEvent]:
+        """The fired events from index ``start`` on, as a consistent slice
+        taken under the plan lock — the serve layer's flight recorder
+        drains new fault events with a cursor through this, so recorded
+        batches carry exactly the faults that fired during them."""
+        with self._lock:
+            return list(self.fired[start:])
+
     def matches(self, point: InjectionPoint) -> int:
         """How many accesses have matched one point's filters so far."""
         with self._lock:

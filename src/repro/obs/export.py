@@ -39,19 +39,28 @@ def trace_to_dict(span: Span, _epoch: Optional[float] = None) -> dict:
     """One span and its subtree as a nested JSON-able dict.
 
     ``start_ms`` is relative to the root of the exported tree; ``sim`` is
-    the span's cost-clock counter delta (or None when untracked).
+    the span's cost-clock counter delta (or None when untracked).  Each
+    span carries its ``span_id`` / ``parent_id`` and the name of the thread
+    that entered it; the export root additionally carries the ``trace_id``.
     """
+    root = _epoch is None
     if _epoch is None:
         _epoch = span.start_s or 0.0
     start_ms = ((span.start_s or 0.0) - _epoch) * 1000.0
-    return {
+    data = {
         "name": span.name,
         "start_ms": round(start_ms, 6),
         "wall_ms": round(span.wall_ms, 6),
+        "span_id": getattr(span, "span_id", None),
+        "parent_id": getattr(span, "parent_id", None),
+        "thread": getattr(span, "thread", None),
         "attrs": dict(span.attrs),
         "sim": _sim_dict(span),
         "children": [trace_to_dict(c, _epoch) for c in span.children],
     }
+    if root:
+        data["trace_id"] = getattr(span, "trace_id", None)
+    return data
 
 
 def span_from_dict(data: dict, tracer: Optional[Tracer] = None) -> Span:
@@ -59,7 +68,8 @@ def span_from_dict(data: dict, tracer: Optional[Tracer] = None) -> Span:
     output (round-trip: re-exporting it yields an equal dict).
 
     The rebuilt spans carry their ``sim`` delta as the exported plain dict,
-    not a live ``IOStats``.
+    not a live ``IOStats``, and keep the exported ``span_id`` /
+    ``parent_id`` / ``thread`` / ``trace_id`` identity fields.
     """
     if tracer is None:
         tracer = Tracer()
@@ -67,6 +77,10 @@ def span_from_dict(data: dict, tracer: Optional[Tracer] = None) -> Span:
     span.start_s = data.get("start_ms", 0.0) / 1000.0
     span.end_s = span.start_s + data.get("wall_ms", 0.0) / 1000.0
     span.sim = data.get("sim")
+    span.span_id = data.get("span_id")
+    span.parent_id = data.get("parent_id")
+    span.thread = data.get("thread")
+    span.trace_id = data.get("trace_id")
     for child in data.get("children", ()):
         span.children.append(span_from_dict(child, tracer))
     return span
@@ -80,10 +94,21 @@ def to_chrome_trace(
     Timestamps and durations are microseconds relative to the root span;
     each event's ``args`` carries the span attributes plus the simulated
     I/O/CPU/total milliseconds, so both clocks are visible in the viewer.
+
+    Each distinct *entering thread* gets its own ``tid`` lane (first seen in
+    tree order, starting at ``tid``), so parallel and sharded executions
+    render as real concurrency lanes instead of one flattened track.  When
+    more than one lane exists, ``thread_name`` metadata events label them.
     """
     epoch = span.start_s or 0.0
+    root_thread = getattr(span, "thread", None)
+    lanes: dict = {}
     events: List[dict] = []
     for node in span.walk():
+        thread = getattr(node, "thread", None) or root_thread
+        lane = lanes.get(thread)
+        if lane is None:
+            lane = lanes[thread] = tid + len(lanes)
         args = dict(node.attrs)
         sim = _sim_dict(node)
         if sim is not None:
@@ -97,10 +122,21 @@ def to_chrome_trace(
                 "ts": round(((node.start_s or 0.0) - epoch) * 1e6, 3),
                 "dur": round(node.wall_s * 1e6, 3),
                 "pid": pid,
-                "tid": tid,
+                "tid": lane,
                 "args": args,
             }
         )
+    if len(lanes) > 1:
+        for thread, lane in lanes.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": lane,
+                    "args": {"name": thread or "main"},
+                }
+            )
     return events
 
 

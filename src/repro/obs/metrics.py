@@ -59,7 +59,8 @@ class Counter:
 
     def reset(self) -> None:
         """Zero the count."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def dump(self) -> int:
         """The current count (the flat-export value)."""
@@ -93,7 +94,8 @@ class Gauge:
 
     def reset(self) -> None:
         """Zero the value."""
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def dump(self) -> float:
         """The current value (the flat-export value)."""
@@ -167,14 +169,8 @@ class Histogram:
         """Mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> Optional[float]:
-        """The q-quantile (0 <= q <= 1) of the retained sample, by linear
-        interpolation between sorted sample points; None when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        if not self._samples:
-            return None
-        ordered = sorted(self._samples)
+    @staticmethod
+    def _interpolate(ordered: List[float], q: float) -> float:
         if len(ordered) == 1:
             return ordered[0]
         rank = q * (len(ordered) - 1)
@@ -183,6 +179,20 @@ class Histogram:
         frac = rank - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 <= q <= 1) of the retained sample, by linear
+        interpolation between sorted sample points; **None when empty** —
+        renderers must guard (see :mod:`repro.obs.expose`, which emits
+        ``NaN`` placeholders).  Reads the sample under the histogram lock so
+        concurrent ``observe()`` calls can't decimate it mid-read."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        return self._interpolate(ordered, q)
+
     @property
     def n_samples(self) -> int:
         """Observations currently retained for quantile estimation."""
@@ -190,25 +200,46 @@ class Histogram:
 
     def reset(self) -> None:
         """Forget every observation."""
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
-        self._samples = []
-        self._stride = 1
-        self._countdown = 1
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._samples = []
+            self._stride = 1
+            self._countdown = 1
 
     def dump(self) -> dict:
-        """Summary dict (the flat-export value)."""
+        """Summary dict (the flat-export value).
+
+        Taken atomically under the histogram lock: a dump observed while
+        writers race still satisfies the internal invariants (``sum`` /
+        ``count`` / ``min`` / ``max`` / quantiles all from one consistent
+        snapshot — no torn reads, mirroring the serve-layer
+        ``ServiceStats`` lock fix).
+        """
+        with self._lock:
+            count = self.count
+            total = self.total
+            lo = self.min
+            hi = self.max
+            ordered = sorted(self._samples)
+        mean = total / count if count else 0.0
+        if ordered:
+            p50 = self._interpolate(ordered, 0.5)
+            p95 = self._interpolate(ordered, 0.95)
+            p99 = self._interpolate(ordered, 0.99)
+        else:
+            p50 = p95 = p99 = None
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "p50": self.quantile(0.5),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": mean,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -277,8 +308,10 @@ class MetricsRegistry:
         return self._metrics[name]
 
     def names(self) -> List[str]:
-        """All registered names, sorted."""
-        return sorted(self._metrics)
+        """All registered names, sorted (snapshotted under the registry
+        lock so concurrent first-use registrations can't tear the view)."""
+        with self._lock:
+            return sorted(self._metrics)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics

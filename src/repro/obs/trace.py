@@ -16,6 +16,20 @@ Spans nest: entering a span while another is open makes it a child, so one
 traced batch produces one tree (``batch`` → ``optimize.gg`` →
 ``execute.plan`` → ``execute.class`` → ``operator.shared_scan_hash``).
 
+Tracing is **concurrency-correct**: each thread keeps its own span stack
+(``threading.local``), so worker threads from ``execute_plan_parallel`` /
+``execute_plan_sharded`` can open operator spans concurrently without
+corrupting each other's nesting.  Cross-thread parenting is explicit — the
+scheduler creates a task span with ``tracer.span(name, parent=plan_span)``
+and hands it to the worker, which enters it on its own thread; the child is
+linked under its parent at *creation* time, so sibling order is the
+deterministic submission order, not the racy completion order.
+
+Every tracer carries a process-unique ``trace_id`` and assigns each span a
+``span_id`` (dense, starting at 1, in creation order) plus the ``parent_id``
+link and the name of the thread that entered it — enough to rebuild the
+tree, or one thread's lane, from a flat dump.
+
 Tracing is **zero-overhead by default**: every instrumentation point holds a
 :class:`NullTracer` (the :data:`NULL_TRACER` singleton) whose ``span()``
 returns one shared no-op span — no allocation, no clock read, no stats
@@ -25,21 +39,31 @@ snapshot.  Enabling tracing (``Database.trace()``) swaps in a real
 Span naming convention (see ``docs/observability.md``): dotted lowercase
 components, ``<layer>.<phase>`` — ``mdx.parse``, ``optimize.<algorithm>``,
 ``optimize.<algorithm>.<phase>``, ``execute.plan``, ``execute.class``,
-``operator.<kind>``, ``session.run``.
+``operator.<kind>``, ``session.run``, ``serve.batch``, ``shard.task``.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Process-wide trace-id sequence: ``trace-000001``, ``trace-000002``, …
+_TRACE_IDS = itertools.count(1)
+
+
+def next_trace_id() -> str:
+    """The next process-unique trace id (dense, in tracer-creation order)."""
+    return f"trace-{next(_TRACE_IDS):06d}"
 
 
 class Span:
     """One timed, attributed phase of work; a context manager.
 
     Created by :meth:`Tracer.span`; do not instantiate directly.  While the
-    ``with`` block is open the span is on the tracer's stack and new spans
-    nest under it.
+    ``with`` block is open the span is on the *entering thread's* stack and
+    new spans opened by that thread nest under it.
     """
 
     __slots__ = (
@@ -49,33 +73,71 @@ class Span:
         "start_s",
         "end_s",
         "sim",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "thread",
         "_tracer",
         "_start_stats",
+        "_stats",
+        "_linked",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        *,
+        parent: Optional["Span"] = None,
+        stats: Optional[Any] = None,
+    ):
         self.name = name
         self.attrs = attrs
         self.children: List["Span"] = []
         self.start_s: Optional[float] = None
         self.end_s: Optional[float] = None
-        #: IOStats delta charged while the span was open (None when the
-        #: tracer has no stats attached, or while still open).
+        #: IOStats delta charged while the span was open (None when neither
+        #: the tracer nor the span has stats attached, or while still open).
         self.sim = None
+        #: Dense per-tracer id, assigned in creation order.
+        self.span_id: Optional[int] = None
+        #: ``span_id`` of the parent (None for roots; set at link time).
+        self.parent_id: Optional[int] = None
+        #: The owning tracer's trace id.
+        self.trace_id: Optional[str] = getattr(tracer, "trace_id", None)
+        #: Name of the thread that entered the span (None until entered).
+        self.thread: Optional[str] = None
         self._tracer = tracer
         self._start_stats = None
+        #: Per-span cost-clock source overriding ``tracer.stats`` — worker
+        #: tasks bind their private isolated IOStats here so the span's sim
+        #: delta is not polluted by siblings charging the shared clock.
+        self._stats = stats
+        self._linked = parent is not None
+        if tracer is not None and hasattr(tracer, "_link"):
+            tracer._link(self, parent)
 
     # -- lifecycle ------------------------------------------------------------
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
-        if tracer._stack:
-            tracer._stack[-1].children.append(self)
-        else:
-            tracer.roots.append(self)
-        tracer._stack.append(self)
-        if tracer.stats is not None:
-            self._start_stats = tracer.stats.snapshot()
+        stack = tracer._stack
+        if not self._linked:
+            if stack:
+                parent = stack[-1]
+                self.parent_id = parent.span_id
+                with tracer._lock:
+                    parent.children.append(self)
+            else:
+                with tracer._lock:
+                    tracer.roots.append(self)
+            self._linked = True
+        stack.append(self)
+        self.thread = threading.current_thread().name
+        stats = self._stats if self._stats is not None else tracer.stats
+        if stats is not None:
+            self._start_stats = stats.snapshot()
         self.start_s = tracer.clock()
         return self
 
@@ -83,14 +145,16 @@ class Span:
         tracer = self._tracer
         self.end_s = tracer.clock()
         if self._start_stats is not None:
-            self.sim = tracer.stats.delta_since(self._start_stats)
+            stats = self._stats if self._stats is not None else tracer.stats
+            self.sim = stats.delta_since(self._start_stats)
             self._start_stats = None
-        if not tracer._stack or tracer._stack[-1] is not self:
+        stack = tracer._stack
+        if not stack or stack[-1] is not self:
             raise RuntimeError(
                 f"span {self.name!r} closed out of order "
-                f"(open stack: {[s.name for s in tracer._stack]})"
+                f"(open stack: {[s.name for s in stack]})"
             )
-        tracer._stack.pop()
+        stack.pop()
 
     def set(self, key: str, value: Any) -> "Span":
         """Attach one attribute; returns the span for chaining."""
@@ -114,7 +178,11 @@ class Span:
     @property
     def sim_ms(self) -> float:
         """Simulated milliseconds charged inside the span (0.0 untracked)."""
-        return self.sim.total_ms if self.sim is not None else 0.0
+        if self.sim is None:
+            return 0.0
+        if isinstance(self.sim, dict):  # a span rebuilt from an export
+            return float(self.sim.get("total_ms", 0.0))
+        return self.sim.total_ms
 
     # -- navigation -----------------------------------------------------------
 
@@ -137,7 +205,8 @@ class Span:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Span({self.name!r}, wall={self.wall_ms:.3f}ms, "
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"wall={self.wall_ms:.3f}ms, "
             f"sim={self.sim_ms:.1f}ms, {len(self.children)} child(ren))"
         )
 
@@ -150,6 +219,12 @@ class Tracer:
     the cost-clock delta charged inside it.  ``clock`` is a zero-argument
     monotonic-seconds callable, ``time.perf_counter`` by default —
     injectable so tests see deterministic wall times.
+
+    The span stack is **per thread**: spans opened on one thread nest under
+    that thread's innermost open span only.  ``roots``, child linking, and
+    span-id assignment are guarded by one lock, so worker threads may open
+    and close spans concurrently.  To parent a span under another thread's
+    span, pass it explicitly: ``tracer.span(name, parent=batch_span)``.
     """
 
     #: A real tracer records spans (checked by instrumentation that wants to
@@ -160,27 +235,130 @@ class Tracer:
         self,
         stats: Optional[Any] = None,
         clock: Optional[Callable[[], float]] = None,
+        trace_id: Optional[str] = None,
     ):
         self.stats = stats
         self.clock = clock or time.perf_counter
+        #: Process-unique id stamped on every span of this tracer.
+        self.trace_id = trace_id or next_trace_id()
         #: Finished (or open) top-level spans, in start order.
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._span_ids = itertools.count(1)
 
-    def span(self, name: str, **attrs: Any) -> Span:
-        """A new span, nested under the currently open one (if any)."""
-        return Span(self, name, attrs)
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's span stack (created on first use)."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _link(self, span: Span, parent: Optional[Span]) -> None:
+        """Assign the span's id and, for explicit parents, link it now.
+
+        Creation-time linking makes sibling order the deterministic order in
+        which the scheduler created the task spans, independent of which
+        worker thread enters (or finishes) first.
+        """
+        with self._lock:
+            span.span_id = next(self._span_ids)
+            if parent is not None:
+                span.parent_id = parent.span_id
+                parent.children.append(span)
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[Span] = None,
+        stats: Optional[Any] = None,
+        **attrs: Any,
+    ) -> Span:
+        """A new span.
+
+        Without ``parent`` it nests under the calling thread's innermost
+        open span at ``__enter__`` time (or becomes a root).  With
+        ``parent`` it is linked under that span immediately — the explicit
+        cross-thread handoff.  ``stats`` overrides the tracer's cost-clock
+        source for this span only (worker tasks pass their private
+        per-task ``IOStats``).
+        """
+        return Span(self, name, attrs, parent=parent, stats=stats)
+
+    def bound(self, stats: Any) -> "BoundTracer":
+        """A view of this tracer whose spans default to ``stats`` as their
+        cost-clock source — handed to worker ``ExecContext``\\ s so operator
+        spans charge the task's private clock."""
+        return BoundTracer(self, stats)
 
     @property
     def current(self) -> Optional[Span]:
-        """The innermost open span, or None."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, or None."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Tracer({len(self.roots)} root span(s), "
+            f"Tracer({self.trace_id}, {len(self.roots)} root span(s), "
             f"depth={len(self._stack)})"
         )
+
+
+class BoundTracer:
+    """A stats-bound view over a real :class:`Tracer`.
+
+    Spans created through it snapshot the bound stats (a worker task's
+    private ``IOStats``) instead of the tracer's shared stats, and share the
+    underlying tracer's per-thread stacks, ids, and roots.  Duck-compatible
+    with :class:`Tracer` for every instrumentation call site.
+    """
+
+    __slots__ = ("_tracer", "_bound_stats")
+
+    enabled = True
+
+    def __init__(self, tracer: Tracer, stats: Any):
+        self._tracer = tracer
+        self._bound_stats = stats
+
+    @property
+    def stats(self) -> Any:
+        return self._bound_stats
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self._tracer.trace_id
+
+    @property
+    def roots(self) -> List[Span]:
+        return self._tracer.roots
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._tracer.current
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[Span] = None,
+        stats: Optional[Any] = None,
+        **attrs: Any,
+    ) -> Span:
+        return self._tracer.span(
+            name,
+            parent=parent,
+            stats=stats if stats is not None else self._bound_stats,
+            **attrs,
+        )
+
+    def bound(self, stats: Any) -> "BoundTracer":
+        return BoundTracer(self._tracer, stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundTracer({self._tracer!r})"
 
 
 class _NullSpan:
@@ -195,6 +373,10 @@ class _NullSpan:
     wall_s = 0.0
     wall_ms = 0.0
     sim_ms = 0.0
+    span_id = None
+    parent_id = None
+    trace_id = None
+    thread = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -215,14 +397,20 @@ class NullTracer:
 
     enabled = False
     stats = None
+    trace_id = None
     roots: List[Span] = []
     current = None
 
     _SPAN = _NullSpan()
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
-        """The shared no-op span (ignores all arguments)."""
+        """The shared no-op span (ignores all arguments, including the
+        keyword-only ``parent`` / ``stats`` of the real tracer)."""
         return self._SPAN
+
+    def bound(self, stats: Any) -> "NullTracer":
+        """Stats binding on a disabled tracer is a no-op (returns self)."""
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NullTracer()"

@@ -32,6 +32,7 @@ from .futures import (
     ServeFuture,
     ServeResponse,
     ServiceStopped,
+    StageTiming,
 )
 from .retry import RetryExhausted, RetryPolicy, SimulatedClock, call_with_retry
 from .service import QueryService, ServiceStats
@@ -58,6 +59,7 @@ __all__ = [
     "ServiceStats",
     "ServiceStopped",
     "SimulatedClock",
+    "StageTiming",
     "SimulationConfig",
     "SimulationReport",
     "assemble_batch",

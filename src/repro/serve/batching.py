@@ -55,6 +55,13 @@ class ServeConfig:
     of the data (:mod:`repro.serve.shard`); ``shard_dim`` names the
     partition dimension (default: the schema's first).  Sharding requires
     ``cold`` — each shard runs in a private cold context.
+
+    Telemetry knobs (see ``docs/observability.md``): ``flight_recorder``
+    is the capacity of the service's in-memory ring of recent batch traces
+    and fault/retry/quarantine events (0 disables recording *and* the
+    per-batch tracer the recorder installs); ``flight_recorder_path``
+    names a JSON file the ring is dumped to automatically when a batch
+    fails wholesale (None = dump only on demand).
     """
 
     window_ms: float = 10.0
@@ -70,8 +77,15 @@ class ServeConfig:
     degrade: bool = True
     shards: int = 1
     shard_dim: Optional[str] = None
+    flight_recorder: int = 32
+    flight_recorder_path: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.flight_recorder < 0:
+            raise ValueError(
+                f"flight_recorder capacity must be >= 0 "
+                f"(got {self.flight_recorder})"
+            )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1 (got {self.shards})")
         if self.shards > 1 and not self.cold:
@@ -149,6 +163,9 @@ class MicroBatch:
     members: Dict[QueryKey, List[Tuple[ServeRequest, GroupByQuery]]] = field(
         default_factory=dict
     )
+    #: Monotonic time the scheduler picked the batch up (the baseline the
+    #: per-request ``queued`` stage is measured against).
+    started_s: float = 0.0
 
     @property
     def n_requests(self) -> int:

@@ -63,6 +63,28 @@ class RequestQuarantined(ServeError):
         self.cause = cause
 
 
+@dataclass(frozen=True)
+class StageTiming:
+    """One stage's share of a request's journey, on both clocks.
+
+    ``wall_ms`` is host time spent in the stage; ``sim_ms`` is the
+    simulated cost-clock charge (0.0 for stages that never touch storage,
+    like queueing or coalescing).
+    """
+
+    name: str
+    wall_ms: float = 0.0
+    sim_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-able form (used by the flight recorder)."""
+        return {
+            "name": self.name,
+            "wall_ms": round(self.wall_ms, 3),
+            "sim_ms": round(self.sim_ms, 3),
+        }
+
+
 @dataclass
 class ServeResponse:
     """Everything a resolved request learns about its own handling."""
@@ -79,6 +101,16 @@ class ServeResponse:
     #: How many were answered by another request's (or expression's)
     #: identical query in the same batch — the cross-session sharing win.
     n_coalesced: int = 0
+    #: The request's own trace id (assigned at submit, carried end to end).
+    trace_id: str = ""
+    #: The trace id of the batch's span tree, when the batch was traced
+    #: (flight recorder on, or an enclosing ``Database.trace()``).
+    batch_trace_id: Optional[str] = None
+    #: Per-stage latency breakdown of this request's journey, keyed by
+    #: stage name (``queued`` / ``coalesce`` / ``plan`` / ``execute`` /
+    #: ``gather`` / ``retry`` / ``degrade``); batch-level stages are shared
+    #: by every request of the batch, ``queued`` is this request's own.
+    stages: Dict[str, StageTiming] = field(default_factory=dict)
 
     @property
     def n_queries(self) -> int:
@@ -89,12 +121,33 @@ class ServeResponse:
         """The result of one submitted query, by its qid."""
         return self.results[query.qid]
 
+    def stage_breakdown(self) -> str:
+        """One line per stage: ``name wall_ms / sim_ms``, stable order."""
+        order = (
+            "queued", "coalesce", "plan", "execute", "gather", "retry",
+            "degrade",
+        )
+        known = [self.stages[n] for n in order if n in self.stages]
+        extra = [
+            t for n, t in sorted(self.stages.items()) if n not in order
+        ]
+        return "\n".join(
+            f"{t.name}: {t.wall_ms:.3f} wall-ms / {t.sim_ms:.3f} sim-ms"
+            for t in known + extra
+        )
+
 
 class ServeFuture:
-    """A write-once, event-backed handle to one request's outcome."""
+    """A write-once, event-backed handle to one request's outcome.
 
-    def __init__(self, request_id: int):
+    Carries the request's ``trace_id`` from admission on, so a caller can
+    correlate its wait with scheduler-side traces and flight-recorder
+    entries before (and after) the future resolves.
+    """
+
+    def __init__(self, request_id: int, trace_id: str = ""):
         self.request_id = request_id
+        self.trace_id = trace_id or f"req-{request_id:06d}"
         self._event = threading.Event()
         self._response: Optional[ServeResponse] = None
         self._exception: Optional[BaseException] = None

@@ -53,6 +53,8 @@ from ..engine.database import Database
 from ..engine.session import QueryKey, query_key
 from ..faults import InjectedFault
 from ..obs.metrics import default_registry
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import NULL_TRACER, Span, Tracer
 from ..schema.query import GroupByQuery
 from .batching import MicroBatch, ServeConfig, ServeRequest, assemble_batch
 from .futures import (
@@ -62,6 +64,7 @@ from .futures import (
     ServeFuture,
     ServeResponse,
     ServiceStopped,
+    StageTiming,
 )
 from .retry import RetryExhausted, RetryPolicy, SimulatedClock, call_with_retry
 
@@ -134,6 +137,36 @@ class ServiceStats:
             )
 
 
+class _Stages:
+    """Per-batch stage-latency accumulator (scheduler-thread-only).
+
+    Each named stage accumulates wall milliseconds and simulated cost
+    milliseconds across however many times it runs within one batch (a
+    retried execution adds to ``plan``/``execute`` once per attempt).  The
+    scheduler folds the totals into ``serve.stage.*`` histograms and every
+    member request's :attr:`~repro.serve.futures.ServeResponse.stages` at
+    fan-out.  Not thread-safe by design: only the scheduler thread writes
+    it, and it dies with its batch.
+    """
+
+    __slots__ = ("_timings",)
+
+    def __init__(self) -> None:
+        self._timings: Dict[str, "tuple[float, float]"] = {}
+
+    def add(self, name: str, wall_ms: float = 0.0, sim_ms: float = 0.0) -> None:
+        """Accumulate one stage run's cost on both clocks."""
+        wall, sim = self._timings.get(name, (0.0, 0.0))
+        self._timings[name] = (wall + wall_ms, sim + sim_ms)
+
+    def timings(self) -> Dict[str, StageTiming]:
+        """The accumulated totals as immutable per-stage timings."""
+        return {
+            name: StageTiming(name=name, wall_ms=wall, sim_ms=sim)
+            for name, (wall, sim) in self._timings.items()
+        }
+
+
 class QueryService:
     """Accepts concurrent query requests and serves them in micro-batches.
 
@@ -173,6 +206,18 @@ class QueryService:
             backoff_base_ms=self.config.backoff_base_ms,
             backoff_multiplier=self.config.backoff_multiplier,
         )
+        #: The serving-plane flight recorder (None when disabled).  Also
+        #: published on the database so tooling can reach the ring via
+        #: :meth:`~repro.engine.database.Database.flight_recorder`.
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(self.config.flight_recorder)
+            if self.config.flight_recorder > 0
+            else None
+        )
+        db._flight_recorder = self.recorder
+        #: Cursor into the fault plan's fired-event log; the recorder
+        #: drains events past it after every batch.
+        self._fault_events_seen = 0
         metrics = default_registry()
         self._m_admitted = metrics.counter(
             "serve.requests_admitted", "requests accepted into the queue"
@@ -240,6 +285,32 @@ class QueryService:
             "serve.degraded_queries",
             "queries answered by the per-query raw-base-table fallback",
         )
+        stage_help = {
+            "queued": "wall ms a request waited from submit to batch pickup",
+            "coalesce": "wall ms batch assembly / deduplication took",
+            "plan": "wall ms multi-query optimization of a batch took",
+            "execute": "wall ms shared-plan execution took (all attempts)",
+            "gather": "wall ms result fan-out to request futures took",
+            "retry": "wall ms re-attempted executions took",
+            "degrade": "wall ms raw-base-table fallback executions took",
+            "shard_exec": (
+                "wall ms one (class, shard) scatter cell took to execute"
+            ),
+        }
+        stage_sim_help = {
+            "execute": "simulated ms shared-plan execution charged",
+            "retry": "simulated ms of deterministic retry backoff",
+            "degrade": "simulated ms fallback executions charged",
+            "shard_exec": "simulated ms one (class, shard) scatter cell charged",
+        }
+        self._m_stage_wall = {
+            name: metrics.histogram(f"serve.stage.{name}_ms", text)
+            for name, text in stage_help.items()
+        }
+        self._m_stage_sim = {
+            name: metrics.histogram(f"serve.stage.{name}_sim_ms", text)
+            for name, text in stage_sim_help.items()
+        }
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -394,16 +465,36 @@ class QueryService:
                 live.append(request)
         if not live:
             return
+        stages = _Stages()
+        coalesce_started = time.perf_counter()
         batch = assemble_batch(next(self._batch_ids), live)
+        batch.started_s = now
+        stages.add(
+            "coalesce",
+            wall_ms=(time.perf_counter() - coalesce_started) * 1000.0,
+        )
         try:
-            self._execute_batch(batch)
+            self._execute_batch(batch, stages)
         except BaseException as exc:  # noqa: BLE001 - routed to callers
             self.stats.record(n_failed=len(live))
             self._m_failed.inc(len(live))
             for request in live:
                 request.future.try_set_exception(exc)
+            if self.recorder is not None:
+                # A wholesale batch failure is exactly what the flight
+                # recorder exists for: log it, and when configured, dump
+                # the ring to disk for post-mortem before moving on.
+                self.recorder.record(
+                    "batch_failure",
+                    batch_id=batch.batch_id,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    n_requests=len(live),
+                )
+                if self.config.flight_recorder_path:
+                    self.recorder.dump(self.config.flight_recorder_path)
 
-    def _execute_batch(self, batch: MicroBatch) -> None:
+    def _execute_batch(self, batch: MicroBatch, stages: _Stages) -> None:
         db = self.db
         config = self.config
         paranoia = bool(getattr(db, "paranoia", False))
@@ -421,42 +512,115 @@ class QueryService:
         else:
             misses = list(batch.distinct)
 
+        # With the flight recorder on, every batch is traced: a private
+        # per-batch tracer is installed around execution (and restored in
+        # the finally) unless an enclosing Database.trace() already
+        # provides one.  Tracing feeds the recorder only — it never alters
+        # planning or execution, so traced results stay byte-identical.
+        installed: Optional[Tracer] = None
+        if self.recorder is not None and not db.tracer.enabled:
+            installed = Tracer(stats=db.stats)
+            db.tracer = installed
+        batch_trace_id = db.tracer.trace_id
+        batch_span = None
+        outcome = "failed"
         sim_ms = 0.0
         canonical: Dict[QueryKey, QueryResult] = dict(hits)
         quarantined: Dict[QueryKey, BaseException] = {}
-        with db.tracer.span(
-            "serve.batch",
+        try:
+            with db.tracer.span(
+                "serve.batch",
+                batch_id=batch.batch_id,
+                n_requests=batch.n_requests,
+                n_submitted=batch.n_submitted,
+                n_distinct=batch.n_distinct,
+                n_cache_hits=len(hits),
+            ) as span:
+                batch_span = span
+                if misses:
+                    sim_ms, quarantined = self._execute_misses(
+                        batch,
+                        misses,
+                        canonical,
+                        cache=cache,
+                        paranoia=paranoia,
+                        stages=stages,
+                    )
+                if hits and paranoia:
+                    from ..check.paranoia import recheck_cache_hits
+
+                    recheck_cache_hits(
+                        db, {hit.query.qid: hit for hit in hits.values()}
+                    )
+                span.set("sim_ms", round(sim_ms, 3))
+                if quarantined:
+                    span.set("n_quarantined_queries", len(quarantined))
+            outcome = "quarantined" if quarantined else "ok"
+            self._fan_out(
+                batch,
+                canonical,
+                hits,
+                sim_ms,
+                quarantined,
+                stages=stages,
+                batch_trace_id=batch_trace_id,
+            )
+        finally:
+            if installed is not None:
+                db.tracer = NULL_TRACER
+            self._record_batch(batch, batch_span, outcome, stages)
+
+    def _record_batch(
+        self, batch: MicroBatch, span, outcome: str, stages: _Stages
+    ) -> None:
+        """Append one batch's trace (plus any fault events that fired
+        during it) to the flight recorder ring."""
+        recorder = self.recorder
+        if recorder is None:
+            return
+        faults = getattr(self.db, "faults", None)
+        if faults is not None:
+            events = faults.events_since(self._fault_events_seen)
+            self._fault_events_seen += len(events)
+            for event in events:
+                recorder.record(
+                    "fault",
+                    batch_id=batch.batch_id,
+                    sequence=event.sequence,
+                    site=event.site,
+                    point=event.point,
+                    attrs=dict(event.attrs),
+                )
+        recorder.record_batch(
+            span if isinstance(span, Span) else None,
             batch_id=batch.batch_id,
+            outcome=outcome,
             n_requests=batch.n_requests,
             n_submitted=batch.n_submitted,
             n_distinct=batch.n_distinct,
-            n_cache_hits=len(hits),
-        ) as span:
-            if misses:
-                sim_ms, quarantined = self._execute_misses(
-                    batch, misses, canonical, cache=cache, paranoia=paranoia
-                )
-            if hits and paranoia:
-                from ..check.paranoia import recheck_cache_hits
-
-                recheck_cache_hits(
-                    db, {hit.query.qid: hit for hit in hits.values()}
-                )
-            span.set("sim_ms", round(sim_ms, 3))
-            if quarantined:
-                span.set("n_quarantined_queries", len(quarantined))
-
-        self._fan_out(batch, canonical, hits, sim_ms, quarantined)
+            stages={
+                name: timing.as_dict()
+                for name, timing in stages.timings().items()
+            },
+        )
 
     def _run_plan(
-        self, queries: List[GroupByQuery], paranoia: bool
+        self,
+        queries: List[GroupByQuery],
+        paranoia: bool,
+        stages: Optional[_Stages] = None,
     ) -> ExecutionReport:
         """Optimize, (optionally) validate, and execute one set of distinct
         queries.  Fault-injected class failures land in the report's
         ``failures`` list; sibling classes' results are unaffected."""
         db = self.db
         config = self.config
+        plan_started = time.perf_counter()
         plan = db.optimize(queries, config.algorithm)
+        if stages is not None:
+            stages.add(
+                "plan", wall_ms=(time.perf_counter() - plan_started) * 1000.0
+            )
         if paranoia:
             from ..check.errors import CorrectnessError, PlanValidationError
             from ..check.validate import validate_global_plan
@@ -469,21 +633,35 @@ class QueryService:
                     f"invalid plan: {exc}",
                     plan=plan,
                 ) from exc
-        if config.shards > 1:
-            from .shard import execute_plan_sharded
+        exec_started = time.perf_counter()
+        try:
+            if config.shards > 1:
+                from .shard import execute_plan_sharded
 
-            return execute_plan_sharded(
-                db,
-                self._shards(),
-                plan,
-                n_workers=config.n_workers,
-                paranoia=paranoia,
-            )
-        if config.cold:
-            return execute_plan_parallel(db, plan, n_workers=config.n_workers)
-        # Warm execution is order-dependent (classes share the pool), so it
-        # stays serial.
-        return db.execute(plan, cold=False)
+                report = execute_plan_sharded(
+                    db,
+                    self._shards(),
+                    plan,
+                    n_workers=config.n_workers,
+                    paranoia=paranoia,
+                )
+            elif config.cold:
+                report = execute_plan_parallel(
+                    db, plan, n_workers=config.n_workers
+                )
+            else:
+                # Warm execution is order-dependent (classes share the
+                # pool), so it stays serial.
+                report = db.execute(plan, cold=False)
+        finally:
+            if stages is not None:
+                stages.add(
+                    "execute",
+                    wall_ms=(time.perf_counter() - exec_started) * 1000.0,
+                )
+        if stages is not None:
+            stages.add("execute", sim_ms=report.sim_ms)
+        return report
 
     def _shards(self):
         """The current shard partition, (re)built on first use and after
@@ -512,6 +690,7 @@ class QueryService:
         *,
         cache,
         paranoia: bool,
+        stages: Optional[_Stages] = None,
     ) -> "tuple[float, Dict[QueryKey, BaseException]]":
         """Run the cache-missing queries with bounded retry on injected
         class failures, then the degraded per-query fallback; returns the
@@ -535,10 +714,29 @@ class QueryService:
                     cache.put(result)
 
         def attempt(attempt_no: int) -> None:
+            retry_started = None
             if attempt_no > 1:
+                retry_started = time.perf_counter()
                 self.stats.record(n_retries=1)
                 self._m_retries.inc()
-            execution = self._run_plan(state["outstanding"], paranoia)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "retry",
+                        batch_id=batch.batch_id,
+                        attempt=attempt_no,
+                        n_outstanding=len(state["outstanding"]),
+                    )
+            try:
+                execution = self._run_plan(
+                    state["outstanding"], paranoia, stages=stages
+                )
+            finally:
+                if retry_started is not None and stages is not None:
+                    stages.add(
+                        "retry",
+                        wall_ms=(time.perf_counter() - retry_started)
+                        * 1000.0,
+                    )
             record(execution)
             if execution.failures:
                 failed = set(execution.failed_qids)
@@ -558,6 +756,7 @@ class QueryService:
             state["errors"] = {}
 
         quarantined: Dict[QueryKey, BaseException] = {}
+        backoff_before_ms = self.sim_clock.now_ms
         try:
             call_with_retry(
                 self._retry_policy,
@@ -571,9 +770,25 @@ class QueryService:
             for query in list(state["outstanding"]):
                 error = state["errors"].get(query_key(query), exhausted)
                 if self.config.degrade:
-                    error = self._degrade_query(query, canonical, cache, state)
+                    error = self._degrade_query(
+                        query, canonical, cache, state, stages=stages
+                    )
                 if error is not None:
                     quarantined[query_key(query)] = error
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "quarantine",
+                            batch_id=batch.batch_id,
+                            qid=query.qid,
+                            error_type=type(error).__name__,
+                            error=str(error),
+                        )
+        finally:
+            # The simulated clock only ever advances by retry backoff, so
+            # its delta across the retry loop is the backoff charge.
+            backoff_ms = self.sim_clock.now_ms - backoff_before_ms
+            if stages is not None and backoff_ms > 0.0:
+                stages.add("retry", sim_ms=backoff_ms)
         return state["sim_ms"], quarantined
 
     def _raw_base_entry(self):
@@ -588,6 +803,7 @@ class QueryService:
         canonical: Dict[QueryKey, QueryResult],
         cache,
         state: Dict,
+        stages: Optional[_Stages] = None,
     ) -> Optional[BaseException]:
         """Degraded mode: re-plan one repeatedly-failing query *alone*
         against the raw fact table and execute it, sidestepping whatever
@@ -598,36 +814,46 @@ class QueryService:
         from ..core.optimizer.plans import GlobalPlan
 
         db = self.db
-        entry = self._raw_base_entry()
-        if entry is None:
-            return state["errors"].get(query_key(query)) or RuntimeError(
-                "no raw base table to degrade to"
-            )
-        with db.tracer.span(
-            "serve.degrade", qid=query.qid, source=entry.name
-        ) as span:
-            model = CostModel(
-                db.schema,
-                db.catalog,
-                db.stats.rates,
-                statistics=getattr(db, "table_statistics", None),
-                dim_tables=getattr(db, "dimension_tables", None),
-            )
-            try:
-                plan_class = build_plan_class(model, entry, [query])
-            except ValueError as exc:
-                span.set("failed", True)
-                return exc
-            plan = GlobalPlan(algorithm="degraded", classes=[plan_class])
-            execution = db.execute(plan, cold=self.config.cold)
-            state["sim_ms"] += execution.sim_ms
-            if execution.failures:
-                span.set("failed", True)
-                return execution.failures[0].error
-            result = execution.results[query.qid]
-            canonical[query_key(query)] = result
-            if cache is not None:
-                cache.put(result)
+        degrade_started = time.perf_counter()
+        try:
+            entry = self._raw_base_entry()
+            if entry is None:
+                return state["errors"].get(query_key(query)) or RuntimeError(
+                    "no raw base table to degrade to"
+                )
+            with db.tracer.span(
+                "serve.degrade", qid=query.qid, source=entry.name
+            ) as span:
+                model = CostModel(
+                    db.schema,
+                    db.catalog,
+                    db.stats.rates,
+                    statistics=getattr(db, "table_statistics", None),
+                    dim_tables=getattr(db, "dimension_tables", None),
+                )
+                try:
+                    plan_class = build_plan_class(model, entry, [query])
+                except ValueError as exc:
+                    span.set("failed", True)
+                    return exc
+                plan = GlobalPlan(algorithm="degraded", classes=[plan_class])
+                execution = db.execute(plan, cold=self.config.cold)
+                state["sim_ms"] += execution.sim_ms
+                if stages is not None:
+                    stages.add("degrade", sim_ms=execution.sim_ms)
+                if execution.failures:
+                    span.set("failed", True)
+                    return execution.failures[0].error
+                result = execution.results[query.qid]
+                canonical[query_key(query)] = result
+                if cache is not None:
+                    cache.put(result)
+        finally:
+            if stages is not None:
+                stages.add(
+                    "degrade",
+                    wall_ms=(time.perf_counter() - degrade_started) * 1000.0,
+                )
         self.stats.record(n_degraded=1)
         self._m_degraded.inc()
         return None
@@ -639,8 +865,11 @@ class QueryService:
         hits: Dict[QueryKey, QueryResult],
         sim_ms: float,
         quarantined: Optional[Dict[QueryKey, BaseException]] = None,
+        stages: Optional[_Stages] = None,
+        batch_trace_id: Optional[str] = None,
     ) -> None:
         quarantined = quarantined or {}
+        gather_started = time.perf_counter()
         now = time.monotonic()
         responses: Dict[int, ServeResponse] = {}
         poisoned: Dict[int, List[QueryKey]] = {}
@@ -649,6 +878,8 @@ class QueryService:
                 request_id=request.request_id,
                 batch_id=batch.batch_id,
                 latency_s=now - request.submitted_s,
+                trace_id=request.future.trace_id,
+                batch_trace_id=batch_trace_id,
             )
         for key, pairs in batch.members.items():
             if key in quarantined:
@@ -668,9 +899,35 @@ class QueryService:
                     response.n_cache_hits += 1
                 elif twin.qid != canonical_qid:
                     response.n_coalesced += 1
+        if stages is not None:
+            stages.add(
+                "gather",
+                wall_ms=(time.perf_counter() - gather_started) * 1000.0,
+            )
+        batch_timings = stages.timings() if stages is not None else {}
+        # Batch-level stages observe once per batch; the per-request
+        # "queued" stage observes once per member request below.
+        for name, timing in batch_timings.items():
+            wall_hist = self._m_stage_wall.get(name)
+            if wall_hist is not None:
+                wall_hist.observe(timing.wall_ms)
+            sim_hist = self._m_stage_sim.get(name)
+            if sim_hist is not None:
+                sim_hist.observe(timing.sim_ms)
         n_served = 0
         for request in batch.requests:
             response = responses[request.request_id]
+            if batch.started_s:
+                queued_ms = max(
+                    0.0, (batch.started_s - request.submitted_s) * 1000.0
+                )
+            else:
+                queued_ms = 0.0
+            self._m_stage_wall["queued"].observe(queued_ms)
+            response.stages = dict(batch_timings)
+            response.stages["queued"] = StageTiming(
+                "queued", wall_ms=queued_ms
+            )
             bad_keys = poisoned.get(request.request_id)
             if bad_keys:
                 # Per-request fault quarantine: this request's queries kept

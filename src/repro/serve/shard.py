@@ -226,34 +226,67 @@ class _ShardOutcome:
 
 
 def _run_shard_task(
-    db: "Database", plan_class: "PlanClass", shard: Shard
+    db: "Database",
+    plan_class: "PlanClass",
+    shard: Shard,
+    ctx: Optional[ExecContext] = None,
+    span=None,
 ) -> _ShardOutcome:
     """Execute one plan class against one shard in a private cold context;
     an injected fault (including a ``shard.exec`` kill) becomes a failed
-    outcome carrying the cost charged before the abort."""
-    ctx = _shard_context(db, shard)
-    started = time.perf_counter()
-    try:
-        faults = getattr(db, "faults", None)
-        if faults is not None:
-            faults.check(
-                "shard.exec", shard=shard.shard_id, table=plan_class.source
-            )
-        results, actuals = run_class_accounted(ctx, plan_class)
-    except InjectedFault as exc:
-        return _ShardOutcome(
-            shard_id=shard.shard_id,
-            sim=ctx.stats,
-            wall_s=time.perf_counter() - started,
-            error=exc,
+    outcome carrying the cost charged before the abort.
+
+    ``ctx`` and ``span`` are pre-created by the scatter loop on the
+    scheduling thread (explicit cross-thread parent handoff: the
+    ``shard.task`` span links under ``serve.scatter`` in grid order); the
+    worker enters the span here on its own thread-local stack.  Each cell
+    observes its wall and sim cost into the ``serve.stage.shard_exec_*``
+    histograms — the per-shard leg of the request stage breakdown.
+    """
+    if ctx is None:
+        ctx = _shard_context(db, shard)
+    if span is None:
+        span = ctx.tracer.span(
+            "shard.task", shard=shard.shard_id, source=plan_class.source
         )
-    return _ShardOutcome(
-        shard_id=shard.shard_id,
-        sim=ctx.stats,
-        wall_s=time.perf_counter() - started,
-        results=results,
-        actuals=actuals,
-    )
+    outcome: _ShardOutcome
+    with span:
+        started = time.perf_counter()
+        try:
+            faults = getattr(db, "faults", None)
+            if faults is not None:
+                faults.check(
+                    "shard.exec", shard=shard.shard_id, table=plan_class.source
+                )
+            results, actuals = run_class_accounted(ctx, plan_class)
+        except InjectedFault as exc:
+            span.set("failed", True)
+            span.set("error", str(exc))
+            outcome = _ShardOutcome(
+                shard_id=shard.shard_id,
+                sim=ctx.stats,
+                wall_s=time.perf_counter() - started,
+                error=exc,
+            )
+        else:
+            span.set("sim_ms", round(ctx.stats.total_ms, 3))
+            outcome = _ShardOutcome(
+                shard_id=shard.shard_id,
+                sim=ctx.stats,
+                wall_s=time.perf_counter() - started,
+                results=results,
+                actuals=actuals,
+            )
+    metrics = default_registry()
+    metrics.histogram(
+        "serve.stage.shard_exec_ms",
+        "wall ms one (class, shard) scatter cell took to execute",
+    ).observe(outcome.wall_s * 1000.0)
+    metrics.histogram(
+        "serve.stage.shard_exec_sim_ms",
+        "simulated ms one (class, shard) scatter cell charged",
+    ).observe(outcome.sim.total_ms)
+    return outcome
 
 
 #: How each decomposable aggregate combines two partial group values.
@@ -396,13 +429,32 @@ def execute_plan_sharded(
             n_classes=len(classes),
             n_shards=len(shards),
             n_tasks=len(tasks),
-        ):
+        ) as scatter_span:
             metrics.counter(
                 "shard.scatters", "plan classes scattered across shards"
             ).inc(len(classes))
+            # Pre-create each cell's context and its shard.task span here,
+            # in grid order: the explicit parent= pins sibling order under
+            # serve.scatter deterministically, and stats= binds the span's
+            # sim delta to the cell's private clock.
+            traced = db.tracer.enabled
+            cells_prepared = []
+            for plan_class, shard in tasks:
+                ctx = _shard_context(db, shard)
+                if traced:
+                    ctx.tracer = db.tracer.bound(ctx.stats)
+                span = db.tracer.span(
+                    "shard.task",
+                    parent=scatter_span,
+                    stats=ctx.stats,
+                    shard=shard.shard_id,
+                    source=plan_class.source,
+                    n_queries=len(plan_class.queries),
+                )
+                cells_prepared.append((plan_class, shard, ctx, span))
             if len(tasks) == 1 or n_workers == 1:
                 outcomes = [
-                    _run_shard_task(db, pc, shard) for pc, shard in tasks
+                    _run_shard_task(db, *cell) for cell in cells_prepared
                 ]
             else:
                 with ThreadPoolExecutor(
@@ -410,7 +462,8 @@ def execute_plan_sharded(
                 ) as workers:
                     outcomes = list(
                         workers.map(
-                            lambda task: _run_shard_task(db, *task), tasks
+                            lambda cell: _run_shard_task(db, *cell),
+                            cells_prepared,
                         )
                     )
         with db.tracer.span(

@@ -71,6 +71,11 @@ class SimulationConfig:
     #: ``shard_dim`` names the partition dimension (None = the first).
     n_shards: int = 1
     shard_dim: Optional[str] = None
+    #: Flight-recorder ring capacity forwarded to :class:`ServeConfig`
+    #: (0 disables recording), and the optional auto-dump path written
+    #: when a batch fails wholesale.
+    flight_recorder: int = 32
+    flight_recorder_path: Optional[str] = None
 
 
 @dataclass
@@ -101,6 +106,9 @@ class SimulationReport:
     n_shards: int = 1
     batch_sizes: List[int] = field(default_factory=list)
     latencies_ms: List[float] = field(default_factory=list)
+    #: The service's flight recorder (None when disabled) — still readable
+    #: after the run; the CLI dumps it via ``--flight-recorder PATH``.
+    recorder: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def speedup(self) -> float:
@@ -222,6 +230,8 @@ def run_simulation(
             degrade=config.degrade,
             shards=config.n_shards,
             shard_dim=config.shard_dim,
+            flight_recorder=config.flight_recorder,
+            flight_recorder_path=config.flight_recorder_path,
         ),
     )
 
@@ -324,4 +334,5 @@ def run_simulation(
         n_cache_hits=stats.n_cache_hits,
         batch_sizes=list(stats.batch_sizes),
         latencies_ms=latencies,
+        recorder=service.recorder,
     )
