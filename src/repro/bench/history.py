@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
-from ..obs.analyze import CALIBRATION_ALGORITHMS, run_calibration
+from ..obs.analyze import run_calibration
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.database import Database
@@ -211,7 +211,7 @@ def record_run(
     label: str = "paper",
     scale: float = 0.01,
     tests: Optional[Sequence[str]] = None,
-    algorithms: Sequence[str] = CALIBRATION_ALGORITHMS,
+    algorithms: Optional[Sequence[str]] = None,
     figures: bool = True,
     kernels: bool = True,
 ) -> RunRecord:

@@ -45,17 +45,26 @@ def load_records(
     return out
 
 
-def _gg_sim_total(record: RunRecord) -> Optional[float]:
-    """Total simulated cost of the gg plans across the record's tests —
-    one deterministic number summarizing the whole Table-2 sweep."""
+def _algo_sim_total(
+    record: RunRecord, algorithm: str
+) -> Optional[float]:
+    """Total simulated cost of one algorithm's plans across the record's
+    tests — one deterministic number summarizing the whole Table-2 sweep."""
     total = 0.0
     seen = False
     for rows in record.tests.values():
         for row in rows:
-            if row.get("algorithm") == "gg" and row.get("sim_ms") is not None:
+            if (
+                row.get("algorithm") == algorithm
+                and row.get("sim_ms") is not None
+            ):
                 total += row["sim_ms"]
                 seen = True
     return round(total, 3) if seen else None
+
+
+def _gg_sim_total(record: RunRecord) -> Optional[float]:
+    return _algo_sim_total(record, "gg")
 
 
 def _best_speedup(record: RunRecord) -> Optional[float]:
@@ -90,18 +99,19 @@ def render_leaderboard(
         return (wall is None, wall if wall is not None else 0.0, str(path))
 
     lines = [
-        "| record | path | recorded | wall s | gg sim-ms | best speedup "
-        "| q-error p95 | misrankings |",
-        "|---|---|---|---|---|---|---|---|",
+        "| record | path | recorded | wall s | gg sim-ms | dag sim-ms "
+        "| best speedup | q-error p95 | misrankings |",
+        "|---|---|---|---|---|---|---|---|---|",
     ]
     for path, record in sorted(records, key=sort_key):
         lines.append(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |".format(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |".format(
                 Path(path).name,
                 _PATH_NAMES.get(record.kernels, "?"),
                 record.created_at or "-",
                 _cell(record.wall.get("total_s"), "{:.2f}"),
                 _cell(_gg_sim_total(record), "{:.1f}"),
+                _cell(_algo_sim_total(record, "dag"), "{:.1f}"),
                 _cell(_best_speedup(record), "{:.2f}x"),
                 _cell(record.calibration.get("q_error_p95")),
                 _cell(record.calibration.get("misrankings")),

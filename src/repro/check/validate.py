@@ -47,11 +47,101 @@ def expected_operator(plan_class: PlanClass) -> str:
         raise PlanValidationError(
             f"class on {plan_class.source!r} is empty: no operator applies"
         )
+    if plan_class.has_derives:
+        return "shared_dag"
     if plan_class.is_pure_hash:
         return "shared_scan_hash"
     if plan_class.is_pure_index:
         return "index_star" if len(plan_class.plans) == 1 else "shared_index"
     return "shared_hybrid"
+
+
+def _validate_derives(
+    schema: StarSchema, entry: TableEntry, plan_class: PlanClass
+) -> None:
+    """Validate a DAG class's derive steps (see :mod:`repro.dag`):
+
+    * each intermediate is predicate-free, AVG-free, and answerable from
+      the class's source;
+    * each derived qid is a class member planned with the DERIVE method,
+      and every DERIVE-method member is claimed by exactly one step;
+    * each derived query is answerable from its intermediate — fine-enough
+      levels and a compatible measure kind.
+    """
+    from ..core.operators.dag_join import intermediate_source_aggregate
+    from ..schema.query import Aggregate
+
+    by_qid = {p.query.qid: p for p in plan_class.plans}
+    claimed = Counter()
+    for step in plan_class.derives:
+        intermediate = step.intermediate
+        if intermediate.predicates:
+            raise PlanValidationError(
+                f"derive intermediate {intermediate.display_name()} on "
+                f"{plan_class.source!r} carries predicates; intermediates "
+                f"must be predicate-free"
+            )
+        if intermediate.aggregate is Aggregate.AVG:
+            raise PlanValidationError(
+                f"derive intermediate {intermediate.display_name()} is an "
+                f"AVG; AVG is not re-aggregable and can never be derived"
+            )
+        if not source_can_answer(
+            entry.levels, entry.source_aggregate, intermediate
+        ):
+            raise PlanValidationError(
+                f"derive intermediate {intermediate.display_name()} is not "
+                f"computable from {plan_class.source!r} "
+                f"(levels {entry.levels})"
+            )
+        if not step.qids:
+            raise PlanValidationError(
+                f"derive step {intermediate.display_name()} on "
+                f"{plan_class.source!r} answers no member queries"
+            )
+        inter_agg = intermediate_source_aggregate(
+            entry.source_aggregate, intermediate
+        )
+        for qid in step.qids:
+            claimed[qid] += 1
+            plan = by_qid.get(qid)
+            if plan is None:
+                raise PlanValidationError(
+                    f"derive step {intermediate.display_name()} claims qid "
+                    f"{qid}, which is not a member of the class on "
+                    f"{plan_class.source!r}"
+                )
+            if plan.method is not JoinMethod.DERIVE:
+                raise PlanValidationError(
+                    f"{plan.query.display_name()} is claimed by derive step "
+                    f"{intermediate.display_name()} but planned as "
+                    f"{plan.method.name}"
+                )
+            if not source_can_answer(
+                intermediate.groupby.levels, inter_agg, plan.query
+            ):
+                raise PlanValidationError(
+                    f"{plan.query.display_name()} is not derivable from "
+                    f"intermediate {intermediate.display_name()} (levels "
+                    f"{intermediate.groupby.levels}, measure {inter_agg!r})"
+                )
+    over_claimed = sorted(q for q, n in claimed.items() if n > 1)
+    if over_claimed:
+        raise PlanValidationError(
+            f"qid(s) {over_claimed} are claimed by more than one derive "
+            f"step on {plan_class.source!r}"
+        )
+    derive_members = sorted(
+        p.query.qid
+        for p in plan_class.plans
+        if p.method is JoinMethod.DERIVE
+    )
+    unclaimed = sorted(set(derive_members) - set(claimed))
+    if unclaimed:
+        raise PlanValidationError(
+            f"qid(s) {unclaimed} on {plan_class.source!r} are planned with "
+            f"the DERIVE method but no derive step produces them"
+        )
 
 
 def _has_usable_index(
@@ -106,6 +196,17 @@ def validate_class(
                 f"{plan_class.source!r}, but no join index covers any of "
                 f"its predicates (operator {operator!r} would fail)"
             )
+        if (
+            plan.method is JoinMethod.DERIVE
+            and not plan_class.has_derives
+        ):
+            raise PlanValidationError(
+                f"{query.display_name()} carries the DERIVE method but the "
+                f"class on {plan_class.source!r} has no derive steps (only "
+                f"DAG classes may derive)"
+            )
+    if plan_class.has_derives:
+        _validate_derives(schema, entry, plan_class)
 
 
 def validate_global_plan(

@@ -36,7 +36,9 @@ from .mdx import translate_mdx
 from .workload.paper_queries import PAPER_TESTS, paper_queries
 from .workload.paper_schema import build_paper_database
 
-ALGORITHMS = ("naive", "tplo", "etplg", "gg", "optimal")
+from .core.optimizer import OPTIMIZERS
+
+ALGORITHMS = tuple(OPTIMIZERS)
 
 
 class CliError(Exception):
@@ -441,6 +443,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             print()
             print(explain_plan(db.schema, db.catalog, plan))
+            if args.algorithm == "dag":
+                from .dag import render_dag
+
+                rendered = render_dag(plan)
+                if rendered:
+                    print()
+                    print(rendered)
         report = db.execute(plan)
     if args.trace:
         from .obs.export import write_chrome_trace, write_trace
@@ -543,6 +552,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     queries = translate_mdx(db.schema, mdx)
     plan = db.optimize(queries, args.algorithm)
     print(explain_plan(db.schema, db.catalog, plan))
+    if args.algorithm == "dag":
+        from .dag import render_dag
+
+        rendered = render_dag(plan)
+        if rendered:
+            print()
+            print(rendered)
     if args.analyze:
         report = db.execute(plan)
         print()

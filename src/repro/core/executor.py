@@ -26,6 +26,7 @@ from ..obs.metrics import default_registry
 from ..schema.query import GroupByQuery
 from ..storage.buffer import BufferPool
 from ..storage.iostats import IOStats
+from .operators.dag_join import SharedDagStarJoin
 from .operators.hash_join import SharedScanHashStarJoin
 from .operators.hybrid_join import SharedHybridStarJoin
 from .operators.index_join import IndexStarJoin, SharedIndexStarJoin
@@ -272,7 +273,31 @@ def run_class_accounted(
     queries = plan_class.queries
     source = plan_class.source
     tracer = ctx.tracer
-    if plan_class.is_pure_hash:
+    if plan_class.has_derives:
+        hash_queries = [
+            p.query for p in plan_class.plans if p.method is JoinMethod.HASH
+        ]
+        index_queries = [
+            p.query for p in plan_class.plans if p.method is JoinMethod.INDEX
+        ]
+        derives = [
+            (step.intermediate, plan_class.derived_queries(step))
+            for step in plan_class.derives
+        ]
+        with tracer.span(
+            "operator.shared_dag",
+            source=source,
+            n_hash=len(hash_queries),
+            n_index=len(index_queries),
+            n_intermediates=len(derives),
+            n_derived=sum(len(members) for _inter, members in derives),
+        ) as span:
+            operator = SharedDagStarJoin(
+                ctx, source, hash_queries, index_queries, derives
+            )
+            by_qid = operator.run()
+            results = [by_qid[q.qid] for q in queries]
+    elif plan_class.is_pure_hash:
         with tracer.span(
             "operator.shared_scan_hash", source=source, n_queries=len(queries)
         ) as span:

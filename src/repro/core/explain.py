@@ -91,7 +91,9 @@ def explain_class(
     index_plans = [
         p for p in plan_class.plans if p.method is JoinMethod.INDEX
     ]
-    if plan_class.is_pure_hash:
+    if plan_class.has_derives:
+        operator = "SharedDagStarJoin"
+    elif plan_class.is_pure_hash:
         operator = (
             "SharedScanHashStarJoin"
             if len(plan_class.plans) > 1
@@ -134,9 +136,26 @@ def explain_class(
     pipes = hash_plans + index_plans if not plan_class.is_pure_index else (
         index_plans
     )
+    derive_steps = list(getattr(plan_class, "derives", None) or ())
     for i, plan in enumerate(pipes):
-        connector = "└─" if i == len(pipes) - 1 else "├─"
+        last = i == len(pipes) - 1 and not derive_steps
+        connector = "└─" if last else "├─"
         lines.append(f"{connector} {_pipeline_line(schema, plan)}")
+    for i, step in enumerate(derive_steps):
+        connector = "└─" if i == len(derive_steps) - 1 else "├─"
+        bar = "   " if connector == "└─" else "│  "
+        inter = step.intermediate
+        lines.append(
+            f"{connector} materialize {inter.groupby.name(schema)} "
+            f"[{inter.aggregate.value.upper()}] (~{step.est_rows:.0f} rows)"
+        )
+        members = plan_class.derived_queries(step)
+        for j, query in enumerate(members):
+            sub = "└─" if j == len(members) - 1 else "├─"
+            lines.append(
+                f"{bar} {sub} derive {query.display_name()}: "
+                f"re-aggregate -> GROUP BY {query.groupby.name(schema)}"
+            )
     return "\n".join(lines)
 
 

@@ -115,14 +115,24 @@ class HashAggregator:
         return tuple(key)
 
     def result(self) -> QueryResult:
-        """Finalize and return the accumulated QueryResult."""
+        """Finalize and return the accumulated QueryResult.
+
+        AVG results also carry their algebraic (sum, count) state in
+        ``avg_state`` so partial results from row-disjoint data shards can
+        be merged exactly (sum the sums, sum the counts, divide once).
+        """
         if self.aggregate is Aggregate.AVG:
-            groups = {
-                self._decode(code): value / self._counts[code]
-                for code, value in self._acc.items()
-            }
-        else:
-            groups = {
-                self._decode(code): value for code, value in self._acc.items()
-            }
+            groups = {}
+            avg_state = {}
+            for code, value in self._acc.items():
+                key = self._decode(code)
+                count = self._counts[code]
+                groups[key] = value / count
+                avg_state[key] = (value, count)
+            return QueryResult(
+                query=self.query, groups=groups, avg_state=avg_state
+            )
+        groups = {
+            self._decode(code): value for code, value in self._acc.items()
+        }
         return QueryResult(query=self.query, groups=groups)

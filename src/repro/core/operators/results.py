@@ -23,6 +23,12 @@ class QueryResult:
 
     query: GroupByQuery
     groups: Dict[GroupKey, float]
+    #: For AVG queries only: the algebraic (sum, count) partial state behind
+    #: each group, carried so row-disjoint partial results (data shards)
+    #: merge exactly instead of wrongly averaging averages.  ``None`` for
+    #: distributive aggregates.  Deliberately ignored by
+    #: :meth:`approx_equals` — equality is about the final answer.
+    avg_state: Optional[Dict[GroupKey, Tuple[float, int]]] = None
 
     @property
     def n_groups(self) -> int:
@@ -66,6 +72,7 @@ class QueryResult:
         return QueryResult(
             query=query if query is not None else self.query,
             groups=copy.deepcopy(self.groups),
+            avg_state=copy.deepcopy(self.avg_state),
         )
 
     def approx_equals(self, other: "QueryResult", rel_tol: float = 1e-9) -> bool:

@@ -11,8 +11,12 @@ from .etplg import ETPLGOptimizer
 from .gg import GGOptimizer
 from .naive import NaiveOptimizer
 from .optimal import ExhaustiveOptimizer
-from .plans import GlobalPlan, JoinMethod, LocalPlan, PlanClass
+from .plans import DagPlanClass, DeriveStep, GlobalPlan, JoinMethod, LocalPlan, PlanClass
 from .tplo import TPLOOptimizer
+
+# Imported late so repro.dag can lean on the submodules above (base, cost,
+# plans, gg) without a cycle through this package __init__.
+from ...dag.optimizer import DagOptimizer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...engine.database import Database
@@ -25,6 +29,7 @@ OPTIMIZERS: Dict[str, Type[Optimizer]] = {
     "bgg": BGGOptimizer,
     "optimal": ExhaustiveOptimizer,
     "dp": DPOptimalOptimizer,
+    "dag": DagOptimizer,
 }
 
 
@@ -44,6 +49,9 @@ __all__ = [
     "ClassCosting",
     "CostModel",
     "DPOptimalOptimizer",
+    "DagOptimizer",
+    "DagPlanClass",
+    "DeriveStep",
     "ETPLGOptimizer",
     "ExhaustiveOptimizer",
     "GGOptimizer",

@@ -53,6 +53,11 @@ class Optimizer(ABC):
     catalog."""
 
     name: str = "base"
+    #: Whether calibration sweeps (``repro calibrate`` / ``repro bench``)
+    #: include this algorithm.  Subclasses opt out when their plans would
+    #: only add noise (deliberately-unmerged baselines, duplicates of
+    #: another registered algorithm).
+    in_calibration: bool = True
 
     def __init__(self, db: "Database"):
         self.db = db

@@ -24,7 +24,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...index.bitmap import WORD_BITS
-from ...schema.lattice import expected_distinct, source_can_answer
+from ...schema.lattice import (
+    estimate_groupby_rows,
+    expected_distinct,
+    source_can_answer,
+)
 from ...schema.query import DimPredicate, GroupByQuery
 from ...schema.star import StarSchema
 from ...storage.catalog import Catalog, TableEntry
@@ -429,6 +433,151 @@ class CostModel:
                     )
                 )
         return total
+
+    # -- DAG class costing (derive-from-shared-sub-aggregate) --------------------
+
+    def _dag_builds_cpu_ms(
+        self,
+        entry: TableEntry,
+        scan_queries: Sequence[GroupByQuery],
+        derive_steps: Sequence[Tuple[GroupByQuery, Sequence[GroupByQuery]]],
+    ) -> float:
+        """Shared structure-build cost of a DAG class, mirroring the
+        RollupCache keys the executor uses: one rollup map per (dimension,
+        from level, to level) and one mask per distinct (dimension, from
+        level, predicate).  Derived queries read the intermediate, so their
+        structures key off — and are sized by — the intermediate's levels,
+        not the base table's."""
+        r = self.rates
+        maps: set = set()
+        masks: set = set()
+
+        def collect(query: GroupByQuery, from_levels: Sequence[int]) -> None:
+            for d, dim in enumerate(self.schema.dimensions):
+                stored = from_levels[d]
+                target = query.groupby.levels[d]
+                if target not in (stored, dim.all_level):
+                    maps.add((d, stored, target))
+                pred = query.predicate_on(d)
+                if pred is not None:
+                    masks.add((d, stored, pred.level, pred.member_ids))
+
+        for query in scan_queries:
+            collect(query, entry.levels)
+        for intermediate, derived in derive_steps:
+            collect(intermediate, entry.levels)
+            for query in derived:
+                collect(query, intermediate.groupby.levels)
+
+        total = 0.0
+        scan_ms = 0.0
+        for d, from_level, _target in maps:
+            total += self.schema.dimensions[d].n_members(from_level)
+            scan_ms += self._dim_scan_ms(d)
+        for d, from_level, _level, _members in masks:
+            total += self.schema.dimensions[d].n_members(from_level)
+            scan_ms += self._dim_scan_ms(d)
+        return total * r.hash_build_ms + scan_ms
+
+    def intermediate_rows(
+        self, entry: TableEntry, intermediate: GroupByQuery
+    ) -> float:
+        """Expected group count of a derive step's intermediate aggregate
+        computed over ``entry``."""
+        return float(
+            estimate_groupby_rows(
+                self.schema, intermediate.groupby.levels, entry.n_rows
+            )
+        )
+
+    def derive_class(
+        self,
+        entry: TableEntry,
+        scan_queries: Sequence[GroupByQuery],
+        derive_steps: Sequence[Tuple[GroupByQuery, Sequence[GroupByQuery]]],
+        row_safety: float = 1.0,
+    ) -> Optional[ClassCosting]:
+        """Cost of a DAG class (see :mod:`repro.dag`): one shared scan of
+        ``entry`` feeds the ``scan_queries`` *and* each step's intermediate
+        sub-aggregate; the step's derived queries then re-aggregate the
+        in-memory intermediate — pure CPU over its (far fewer) group rows,
+        no extra I/O.
+
+        ``methods`` in the returned costing aligns with ``scan_queries``
+        followed by every step's derived queries in order.  ``row_safety``
+        inflates the intermediates' estimated group counts (the greedy
+        search's guard against Cardenas underestimates; the final plan is
+        costed with 1.0).  Returns None when a query or intermediate is
+        not answerable.
+        """
+        if not derive_steps:
+            raise ValueError("a DAG class needs at least one derive step")
+        self.n_plan_costings += 1
+        r = self.rates
+        n = entry.n_rows
+        for query in scan_queries:
+            if not source_can_answer(
+                entry.levels, entry.source_aggregate, query
+            ):
+                return None
+        for intermediate, derived in derive_steps:
+            if intermediate.predicates:
+                return None
+            if not source_can_answer(
+                entry.levels, entry.source_aggregate, intermediate
+            ):
+                return None
+            inter_agg = entry.source_aggregate or intermediate.aggregate.value
+            for query in derived:
+                if not source_can_answer(
+                    intermediate.groupby.levels, inter_agg, query
+                ):
+                    return None
+        scan_io = entry.n_pages * r.seq_page_read_ms
+        total = scan_io + self._dag_builds_cpu_ms(
+            entry, scan_queries, derive_steps
+        )
+        methods: List[JoinMethod] = []
+        for query in scan_queries:
+            k = self._matching_rows(entry, query)
+            hash_marginal = self._process_cpu_ms(query, n_fed=n, n_pass=k)
+            index_phase = self._index_phase(entry, query)
+            if index_phase is not None:
+                idx_io, idx_cpu, indexed_sel = index_phase
+                filtered_marginal = (
+                    idx_io
+                    + idx_cpu
+                    + n * r.bitmap_test_ms
+                    + self._process_cpu_ms(
+                        query, n_fed=n * indexed_sel, n_pass=k
+                    )
+                )
+            else:
+                filtered_marginal = math.inf
+            if hash_marginal <= filtered_marginal:
+                methods.append(JoinMethod.HASH)
+                total += hash_marginal
+            else:
+                methods.append(JoinMethod.INDEX)
+                total += filtered_marginal
+        derive_rows = 0.0
+        for intermediate, derived in derive_steps:
+            # The intermediate has no predicates: every fed tuple updates
+            # its aggregator, exactly as QueryPipeline will charge.
+            total += self._process_cpu_ms(intermediate, n_fed=n, n_pass=n)
+            m = row_safety * self.intermediate_rows(entry, intermediate)
+            derive_rows += m
+            for query in derived:
+                k = m * self.query_selectivity(entry, query)
+                total += self._process_cpu_ms(query, n_fed=m, n_pass=k)
+                methods.append(JoinMethod.DERIVE)
+        return ClassCosting(
+            source=entry.name,
+            cost_ms=total,
+            methods=methods,
+            shared_io_ms=scan_io,
+            detail={"scan_io_ms": scan_io, "derive_rows": derive_rows},
+        )
 
     # -- local-plan selection ------------------------------------------------------
 

@@ -34,6 +34,9 @@ class DPOptimalOptimizer(Optimizer):
     """Exact set-partition DP: optimal plans for moderate batch sizes."""
 
     name = "dp"
+    #: Plans identically to "optimal" on the paper workload; excluded from
+    #: calibration sweeps to avoid double-counting one plan shape.
+    in_calibration = False
 
     def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:
         """Produce a global plan covering ``queries`` (see class docstring)."""

@@ -20,6 +20,8 @@ class NaiveOptimizer(Optimizer):
     """One isolated class per query; local optimization only."""
 
     name = "naive"
+    #: Deliberately-unmerged baseline: excluded from calibration sweeps.
+    in_calibration = False
 
     def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:
         """Produce a global plan covering ``queries`` (see class docstring)."""

@@ -21,10 +21,13 @@ from ...schema.star import StarSchema
 
 
 class JoinMethod(Enum):
-    """The two star-join methods the paper considers."""
+    """The paper's two star-join methods, plus the DAG layer's derive step
+    (a query answered from a shared in-class sub-aggregate instead of the
+    base-table scan — see :mod:`repro.dag`)."""
 
     HASH = "hash-based SJ"
     INDEX = "index-based SJ"
+    DERIVE = "derive from shared sub-aggregate"
 
 
 @dataclass(frozen=True)
@@ -80,12 +83,69 @@ class PlanClass:
         """True when every plan in the class is an index join."""
         return all(p.method is JoinMethod.INDEX for p in self.plans)
 
+    @property
+    def has_derives(self) -> bool:
+        """True when the class carries shared sub-aggregate derive steps
+        (only :class:`DagPlanClass` instances ever do)."""
+        return bool(getattr(self, "derives", None))
+
     def describe(self, schema: StarSchema) -> str:
         """Human-readable one-line/short rendering for display."""
         lines = [
             f"Class[{self.source}]  est={self.est_cost_ms:.1f} sim-ms"
         ]
         lines.extend("  " + plan.describe(schema) for plan in self.plans)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DeriveStep:
+    """One shared sub-aggregate materialized inside a class.
+
+    ``intermediate`` is a synthetic, predicate-free group-by query at the
+    meet of the derived queries' required levels; the class's shared scan
+    computes it once, and every member plan whose qid is in ``qids`` (all
+    carrying :attr:`JoinMethod.DERIVE`) is answered by re-aggregating the
+    intermediate's in-memory result instead of the base-table scan.
+
+    ``node_key`` is the structural hash of the DAG OR-node this step
+    materializes (see :mod:`repro.dag.nodes`); ``est_rows`` the model's
+    estimate of the intermediate's group count.
+    """
+
+    intermediate: GroupByQuery
+    qids: Tuple[int, ...]
+    est_rows: float = 0.0
+    node_key: str = ""
+
+
+@dataclass
+class DagPlanClass(PlanClass):
+    """A plan class extended with shared sub-aggregate derive steps.
+
+    Executes on ``SharedDagStarJoin``: one scan of the base table feeds the
+    hash/index members *and* each derive step's intermediate aggregate;
+    derived members then consume the (much smaller) intermediates.
+    Without derive steps it is operationally identical to a plain
+    :class:`PlanClass`.
+    """
+
+    derives: List[DeriveStep] = field(default_factory=list)
+
+    def derived_queries(self, step: DeriveStep) -> List[GroupByQuery]:
+        """The member queries one derive step answers, in plan order."""
+        wanted = set(step.qids)
+        return [p.query for p in self.plans if p.query.qid in wanted]
+
+    def describe(self, schema: StarSchema) -> str:
+        lines = [super().describe(schema)]
+        for step in self.derives:
+            lines.append(
+                f"  materialize {step.intermediate.groupby.name(schema)} "
+                f"[{step.intermediate.aggregate.value.upper()}] "
+                f"(~{step.est_rows:.0f} rows) -> derives qids "
+                f"{sorted(step.qids)}"
+            )
         return "\n".join(lines)
 
 

@@ -1,0 +1,78 @@
+"""Indented-tree rendering of a dag plan's AND-OR DAG.
+
+``repro explain --algorithm dag`` appends this block to the usual
+per-class operator trees: the DAG's shape, its unified sub-expressions
+(OR-nodes ≥2 queries hash onto), and the materializations the greedy
+search chose, each with its alternatives (scan-join entries vs. derive
+producers).  Rendering works from the JSON-able planning metadata the
+optimizer leaves in ``plan.search_stats["dag"]`` — no re-planning, and
+the same data survives a trip through ``GlobalPlan.to_dict``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.optimizer.plans import GlobalPlan
+
+
+def render_dag(plan: GlobalPlan) -> Optional[str]:
+    """The DAG block for one ``dag`` plan, or None when the plan carries
+    no DAG metadata (non-dag algorithms)."""
+    stats = plan.search_stats.get("dag")
+    if not isinstance(stats, dict):
+        return None
+    lines: List[str] = [
+        f"PlanDAG[dag] — {stats.get('or_nodes', 0)} OR-node(s), "
+        f"{stats.get('and_nodes', 0)} AND-node(s), "
+        f"{stats.get('unified_subexpressions', 0)} unified "
+        f"sub-expression(s), {stats.get('candidates', 0)} candidate "
+        f"intermediate(s)",
+        f"search: {stats.get('iterations', 0)} iteration(s), "
+        f"{stats.get('moves_evaluated', 0)} move(s) evaluated "
+        f"({stats.get('costings_memoized', 0)} costings memoized), "
+        f"est {stats.get('seed_est_ms', 0.0)} -> "
+        f"{stats.get('final_est_ms', 0.0)} sim-ms",
+    ]
+    detail = stats.get("nodes_detail") or []
+    hosts = {
+        m.get("node"): m for m in stats.get("materializations") or []
+    }
+    for i, node in enumerate(detail):
+        connector = "└─" if i == len(detail) - 1 else "├─"
+        bar = "   " if i == len(detail) - 1 else "│  "
+        consumers = ", ".join(f"Q{qid}" for qid in node.get("consumers", []))
+        tags = []
+        if len(node.get("consumers", [])) >= 2:
+            tags.append("unified")
+        if node.get("materialized"):
+            tags.append("materialized")
+        tag = f"  [{', '.join(tags)}]" if tags else ""
+        lines.append(
+            f"{connector} OR {node.get('key')}  <- {consumers}{tag}"
+        )
+        alternatives = node.get("alternatives") or []
+        chosen = hosts.get(node.get("key"))
+        for j, alt in enumerate(alternatives):
+            alt_connector = "└─" if j == len(alternatives) - 1 else "├─"
+            marker = ""
+            if (
+                chosen is not None
+                and alt.get("op") == "scan-join"
+                and alt.get("source") == chosen.get("host")
+            ):
+                marker = (
+                    f"  (chosen host, saves "
+                    f"{chosen.get('gain_ms', 0.0)} sim-ms, derives "
+                    f"{', '.join(f'Q{q}' for q in chosen.get('qids', []))})"
+                )
+            lines.append(
+                f"{bar} {alt_connector} AND {alt.get('op')}"
+                f"[{alt.get('source')}]{marker}"
+            )
+    if not detail:
+        lines.append(
+            "(no unified sub-expressions and no materializations — the "
+            "plan is exactly the GG seed)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""DagOptimizer: algorithm ``"dag"`` — GG seeding, AND-OR DAG build,
+greedy materialization, and lowering back to the engine's plan form.
+
+The pipeline is four traced phases:
+
+* ``dag.seed`` — run GG (sharing this optimizer's cost model, so planning
+  effort is counted once) to get the best class-granular plan;
+* ``dag.build`` — build the AND-OR DAG (:func:`repro.dag.nodes.build_dag`):
+  structurally-hashed result nodes plus candidate shared intermediates;
+* ``dag.search`` — greedy materialization
+  (:func:`repro.dag.search.greedy_search`): monotone cost-improving moves
+  from the GG seed, so the final estimate is never above GG's;
+* ``dag.lower`` — emit :class:`~repro.core.optimizer.plans.DagPlanClass`
+  classes (plain :class:`~repro.core.optimizer.plans.PlanClass` when a
+  class adopted no derive step, keeping the executor's existing operators
+  in play), with unbiased per-plan standalone/marginal estimates.
+
+Everything downstream — executor, paranoia checker, actuals ledger, serve
+batching, shard scatter-gather — consumes the resulting
+:class:`~repro.core.optimizer.plans.GlobalPlan` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.optimizer.base import Optimizer
+from ..core.optimizer.gg import GGOptimizer
+from ..core.optimizer.plans import (
+    DagPlanClass,
+    DeriveStep,
+    GlobalPlan,
+    LocalPlan,
+)
+from ..obs.metrics import default_registry
+from ..schema.query import GroupByQuery
+from .nodes import PlanDag, build_dag
+from .search import DagClass, SearchStats, greedy_search
+
+
+class DagOptimizer(Optimizer):
+    """AND-OR plan-DAG optimizer with cross-class sub-aggregate sharing."""
+
+    name = "dag"
+
+    def __init__(
+        self,
+        db,
+        max_iterations: int = 16,
+        max_candidates: int = 64,
+        min_gain_frac: float = 0.01,
+        row_safety: float = 1.25,
+    ):
+        super().__init__(db)
+        self.max_iterations = max_iterations
+        self.max_candidates = max_candidates
+        self.min_gain_frac = min_gain_frac
+        self.row_safety = row_safety
+
+    def optimize(self, queries: Sequence[GroupByQuery]) -> GlobalPlan:
+        queries = self._check_input(queries)
+        metrics = default_registry()
+        with self.tracer.span("dag.seed", n_queries=len(queries)) as span:
+            gg = GGOptimizer(self.db)
+            gg.model = self.model  # one cost model: planning effort adds up
+            seed_plan = gg.optimize(queries)
+            span.set("seed_est_ms", round(seed_plan.est_cost_ms, 3))
+        with self.tracer.span("dag.build") as span:
+            dag = build_dag(
+                self.db.schema,
+                self.db.catalog,
+                queries,
+                max_candidates=self.max_candidates,
+            )
+            span.set("n_or_nodes", dag.n_or_nodes)
+            span.set("n_and_nodes", dag.n_and_nodes)
+            span.set("n_unified", dag.n_unified)
+        metrics.counter(
+            "dag.nodes", "AND-OR DAG nodes built during dag planning"
+        ).inc(dag.n_or_nodes + dag.n_and_nodes)
+        metrics.counter(
+            "dag.unified_subexpressions",
+            "structurally-hashed sub-expressions shared by >=2 queries",
+        ).inc(dag.n_unified)
+        seed_classes = [
+            DagClass(
+                entry=self.db.catalog.get(cls.source),
+                scan_queries=list(cls.queries),
+            )
+            for cls in seed_plan.classes
+        ]
+        with self.tracer.span("dag.search") as span:
+            classes, stats = greedy_search(
+                self.model,
+                dag,
+                seed_classes,
+                queries,
+                max_iterations=self.max_iterations,
+                min_gain_frac=self.min_gain_frac,
+                row_safety=self.row_safety,
+            )
+            span.set("iterations", stats.iterations)
+            span.set("moves_evaluated", stats.moves_evaluated)
+            span.set("materializations", len(stats.materializations))
+            span.set("initial_est_ms", round(stats.initial_est_ms, 3))
+            span.set("final_est_ms", round(stats.final_est_ms, 3))
+        metrics.counter(
+            "dag.materializations",
+            "shared intermediates the greedy search chose to materialize",
+        ).inc(len(stats.materializations))
+        metrics.counter(
+            "dag.search_iterations", "greedy materialization iterations run"
+        ).inc(max(1, stats.iterations))
+        with self.tracer.span("dag.lower", n_classes=len(classes)):
+            plan = GlobalPlan(algorithm=self.name)
+            for cls in classes:
+                plan.classes.append(self._lower_class(cls))
+        plan.search_stats = {"dag": self._dag_stats(dag, stats)}
+        plan.validate(queries)
+        return plan
+
+    # -- lowering ----------------------------------------------------------
+
+    def _class_cost(
+        self,
+        cls: DagClass,
+        drop_qid: Optional[int] = None,
+    ) -> float:
+        """Unbiased cost of a search-state class, optionally without one
+        member (the denominator of a per-plan marginal estimate)."""
+        scan = [q for q in cls.scan_queries if q.qid != drop_qid]
+        steps: List[Tuple[GroupByQuery, List[GroupByQuery]]] = []
+        for step in cls.steps:
+            kept = [q for q in step.queries if q.qid != drop_qid]
+            if kept:
+                steps.append((step.intermediate, kept))
+        if not scan and not steps:
+            return 0.0
+        if not steps:
+            costing = self.model.plan_class(cls.entry, scan)
+        else:
+            costing = self.model.derive_class(cls.entry, scan, steps)
+        if costing is None:
+            raise ValueError(
+                f"class on {cls.entry.name!r} cannot answer its members"
+            )
+        return costing.cost_ms
+
+    def _lower_class(self, cls: DagClass):
+        """One search-state class → a PlanClass (no derives) or a
+        DagPlanClass (derive steps lowered to ``DeriveStep``)."""
+        from ..core.optimizer.base import build_plan_class
+
+        if not cls.steps:
+            return build_plan_class(self.model, cls.entry, cls.scan_queries)
+        steps = [(step.intermediate, step.queries) for step in cls.steps]
+        costing = self.model.derive_class(cls.entry, cls.scan_queries, steps)
+        if costing is None:
+            raise ValueError(
+                f"DAG class on {cls.entry.name!r} cannot answer its members"
+            )
+        ordered = list(cls.scan_queries) + [
+            q for step in cls.steps for q in step.queries
+        ]
+        plans: List[LocalPlan] = []
+        for query, method in zip(ordered, costing.methods):
+            standalone = self.model.standalone(cls.entry, query)
+            marginal = costing.cost_ms - self._class_cost(
+                cls, drop_qid=query.qid
+            )
+            plans.append(
+                LocalPlan(
+                    query=query,
+                    source=cls.entry.name,
+                    method=method,
+                    est_standalone_ms=standalone[1] if standalone else 0.0,
+                    est_marginal_ms=marginal,
+                )
+            )
+        derives = [
+            DeriveStep(
+                intermediate=step.intermediate,
+                qids=tuple(q.qid for q in step.queries),
+                est_rows=self.model.intermediate_rows(
+                    cls.entry, step.intermediate
+                ),
+                node_key=step.node_key,
+            )
+            for step in cls.steps
+        ]
+        return DagPlanClass(
+            source=cls.entry.name,
+            plans=plans,
+            est_cost_ms=costing.cost_ms,
+            derives=derives,
+        )
+
+    # -- stats for ledgers and explain -------------------------------------
+
+    def _dag_stats(self, dag: PlanDag, stats: SearchStats) -> dict:
+        """JSON-able planning metadata: DAG shape, search effort, and the
+        chosen materializations (bounded node detail for explain)."""
+        materialized = {m.node_key for m in stats.materializations}
+        detail = []
+        for key in sorted(dag.nodes):
+            node = dag.nodes[key]
+            if not node.is_unified and key not in materialized:
+                continue
+            detail.append(
+                {
+                    "key": node.key,
+                    "kind": node.kind,
+                    "levels": list(node.levels),
+                    "preds": node.preds_sig,
+                    "consumers": sorted(node.consumers),
+                    "alternatives": [
+                        {"op": alt.op, "source": alt.source}
+                        for alt in node.alternatives
+                    ],
+                    "materialized": key in materialized,
+                }
+            )
+        return {
+            "or_nodes": dag.n_or_nodes,
+            "and_nodes": dag.n_and_nodes,
+            "unified_subexpressions": dag.n_unified,
+            "candidates": len(dag.candidate_keys),
+            "iterations": stats.iterations,
+            "moves_evaluated": stats.moves_evaluated,
+            "costings_memoized": stats.costings_memoized,
+            "seed_est_ms": round(stats.initial_est_ms, 3),
+            "final_est_ms": round(stats.final_est_ms, 3),
+            "materializations": [
+                {
+                    "node": m.node_key,
+                    "host": m.host,
+                    "qids": m.qids,
+                    "gain_ms": round(m.gain_ms, 3),
+                }
+                for m in stats.materializations
+            ],
+            "nodes_detail": detail[:32],
+        }

@@ -1,0 +1,283 @@
+"""Greedy materialization search over the AND-OR DAG (Roy et al. style).
+
+Start from the GG plan (the best class-granular sharing the paper's
+algorithms find).  Each iteration considers every (candidate intermediate,
+host class) pair: materialize the intermediate inside the host class's
+shared scan and migrate every query it benefits — from whatever class GG
+placed it in — to the host as a DERIVE member.  The move that most reduces
+the *exact* total plan cost is applied; the search stops when no move
+clears the improvement margin or the iteration budget runs out.
+
+Re-costing is memoized by class signature, so a move's evaluation re-costs
+only the classes it touches (the Roy et al. "incremental cost update"),
+and the accepted-move sequence is monotone: the final plan's estimated
+cost is never above the GG seed's.
+
+``row_safety`` inflates the intermediate's estimated group count during
+*acceptance only* — a Cardenas underestimate must not turn an estimated
+win into a measured loss; the final plan is costed unbiased.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.optimizer.cost import CostModel
+from ..schema.lattice import source_can_answer
+from ..schema.query import GroupByQuery
+from ..storage.catalog import TableEntry
+from .nodes import PlanDag, intermediate_query
+
+
+@dataclass
+class Step:
+    """One materialized intermediate inside a class, with the member
+    queries it answers."""
+
+    intermediate: GroupByQuery
+    node_key: str
+    queries: List[GroupByQuery] = field(default_factory=list)
+
+
+@dataclass
+class DagClass:
+    """Search-time form of one class: scan members plus derive steps."""
+
+    entry: TableEntry
+    scan_queries: List[GroupByQuery] = field(default_factory=list)
+    steps: List[Step] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.scan_queries and not self.steps
+
+    def signature(self) -> Tuple:
+        """Memo key: everything the class's cost depends on."""
+        return (
+            self.entry.name,
+            tuple(sorted(q.qid for q in self.scan_queries)),
+            tuple(
+                sorted(
+                    (
+                        step.node_key,
+                        tuple(sorted(q.qid for q in step.queries)),
+                    )
+                    for step in self.steps
+                )
+            ),
+        )
+
+
+@dataclass
+class Materialization:
+    """One accepted move, for search stats and explain output."""
+
+    node_key: str
+    host: str
+    qids: List[int]
+    gain_ms: float
+
+
+@dataclass
+class SearchStats:
+    """What the greedy search did."""
+
+    iterations: int = 0
+    moves_evaluated: int = 0
+    costings_memoized: int = 0
+    initial_est_ms: float = 0.0
+    final_est_ms: float = 0.0
+    materializations: List[Materialization] = field(default_factory=list)
+
+
+class _Coster:
+    """Memoized class costing (``row_safety`` applied to derive classes)."""
+
+    def __init__(self, model: CostModel, row_safety: float):
+        self.model = model
+        self.row_safety = row_safety
+        self._cache: Dict[Tuple, float] = {}
+        self.hits = 0
+
+    def class_cost(self, cls: DagClass) -> float:
+        if cls.is_empty:
+            return 0.0
+        sig = cls.signature()
+        cached = self._cache.get(sig)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        if not cls.steps:
+            costing = self.model.plan_class(cls.entry, cls.scan_queries)
+        else:
+            costing = self.model.derive_class(
+                cls.entry,
+                cls.scan_queries,
+                [(step.intermediate, step.queries) for step in cls.steps],
+                row_safety=self.row_safety,
+            )
+        cost = float("inf") if costing is None else costing.cost_ms
+        self._cache[sig] = cost
+        return cost
+
+    def total(self, classes: Sequence[DagClass]) -> float:
+        return sum(self.class_cost(cls) for cls in classes)
+
+
+def _without_queries(
+    classes: List[DagClass], drop_qids: set
+) -> List[DagClass]:
+    """A deep-enough copy of the state with ``drop_qids`` removed from
+    every scan list and derive step (emptied steps/classes pruned)."""
+    out: List[DagClass] = []
+    for cls in classes:
+        scan = [q for q in cls.scan_queries if q.qid not in drop_qids]
+        steps = []
+        for step in cls.steps:
+            kept = [q for q in step.queries if q.qid not in drop_qids]
+            if kept:
+                steps.append(
+                    Step(
+                        intermediate=step.intermediate,
+                        node_key=step.node_key,
+                        queries=kept,
+                    )
+                )
+        candidate = DagClass(entry=cls.entry, scan_queries=scan, steps=steps)
+        if not candidate.is_empty:
+            out.append(candidate)
+    return out
+
+
+def greedy_search(
+    model: CostModel,
+    dag: PlanDag,
+    seed_classes: Sequence[DagClass],
+    queries: Sequence[GroupByQuery],
+    max_iterations: int = 16,
+    min_gain_frac: float = 0.01,
+    row_safety: float = 1.25,
+) -> Tuple[List[DagClass], SearchStats]:
+    """Greedy materialization from the GG seed (see module docstring).
+
+    ``min_gain_frac`` is the fraction of the current total a move must
+    save to be applied — moves inside the margin are model noise, and
+    applying them risks a measured regression against the seed.
+    """
+    classes = [copy.copy(cls) for cls in seed_classes]
+    for cls in classes:
+        cls.scan_queries = list(cls.scan_queries)
+        cls.steps = [copy.copy(step) for step in cls.steps]
+    coster = _Coster(model, row_safety)
+    stats = SearchStats()
+    stats.initial_est_ms = coster.total(classes)
+    by_qid = {q.qid: q for q in queries}
+    # One synthetic intermediate per candidate node, fixed for the whole
+    # search so the final plan's derive steps have stable qids.
+    intermediates: Dict[str, GroupByQuery] = {}
+    for key in dag.candidate_keys:
+        node = dag.nodes[key]
+        intermediates[key] = intermediate_query(node.kind, node.levels)
+
+    while stats.iterations < max_iterations:
+        current_total = coster.total(classes)
+        min_gain_ms = min_gain_frac * current_total
+        best_delta = 0.0
+        best_state: Optional[List[DagClass]] = None
+        best_move: Optional[Materialization] = None
+        for key in dag.candidate_keys:
+            node = dag.nodes[key]
+            inter = intermediates[key]
+            for host in classes:
+                entry = host.entry
+                if not source_can_answer(
+                    entry.levels, entry.source_aggregate, inter
+                ):
+                    continue
+                inflated_rows = row_safety * model.intermediate_rows(
+                    entry, inter
+                )
+                # Queries the intermediate can answer, excluding those
+                # already derived from this very node on this host, and
+                # those whose current feed is already at least as small.
+                already = {
+                    q.qid
+                    for step in host.steps
+                    if step.node_key == key
+                    for q in step.queries
+                }
+                movable: List[GroupByQuery] = []
+                for qid in node.consumers:
+                    if qid in already:
+                        continue
+                    query = by_qid.get(qid)
+                    if query is None:
+                        continue
+                    holder = _holding_entry(classes, qid)
+                    if holder is not None and (
+                        inflated_rows >= holder.n_rows
+                    ):
+                        continue
+                    movable.append(query)
+                if not movable:
+                    continue
+                stats.moves_evaluated += 1
+                trial = _without_queries(
+                    classes, {q.qid for q in movable}
+                )
+                trial_host = next(
+                    (c for c in trial if c.entry.name == entry.name), None
+                )
+                if trial_host is None:
+                    trial_host = DagClass(entry=entry)
+                    trial.append(trial_host)
+                existing = next(
+                    (s for s in trial_host.steps if s.node_key == key), None
+                )
+                if existing is None:
+                    trial_host.steps.append(
+                        Step(
+                            intermediate=inter,
+                            node_key=key,
+                            queries=list(movable),
+                        )
+                    )
+                else:
+                    existing.queries.extend(movable)
+                delta = coster.total(trial) - current_total
+                if delta < best_delta and -delta >= min_gain_ms:
+                    best_delta = delta
+                    best_state = trial
+                    best_move = Materialization(
+                        node_key=key,
+                        host=entry.name,
+                        qids=sorted(q.qid for q in movable),
+                        gain_ms=-delta,
+                    )
+        if best_state is None:
+            break
+        classes = best_state
+        stats.materializations.append(best_move)
+        stats.iterations += 1
+    stats.final_est_ms = coster.total(classes)
+    stats.costings_memoized = coster.hits
+    return classes, stats
+
+
+def _holding_entry(
+    classes: Sequence[DagClass], qid: int
+) -> Optional[TableEntry]:
+    """The entry of the class currently feeding ``qid`` (scan members are
+    fed the entry's rows; derived members an intermediate's — either way
+    the entry bounds the feed size)."""
+    for cls in classes:
+        for query in cls.scan_queries:
+            if query.qid == qid:
+                return cls.entry
+        for step in cls.steps:
+            for query in step.queries:
+                if query.qid == qid:
+                    return cls.entry
+    return None

@@ -357,7 +357,10 @@ class Database:
         ) as span:
             started = _time.perf_counter()
             plan = optimizer.optimize(list(queries))
+            # Merge, don't overwrite: optimizers (e.g. dag) leave their own
+            # planning metadata in search_stats.
             plan.search_stats = {
+                **plan.search_stats,
                 "plan_costings": optimizer.model.n_plan_costings,
                 "planning_s": _time.perf_counter() - started,
             }

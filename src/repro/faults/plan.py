@@ -24,6 +24,10 @@ Sites (see :data:`SITES`):
   probe (attrs: ``table``, ``dim_index``, ``level``, ``n_members``);
 * ``operator.pipeline`` — each batch the shared operators push through a
   query pipeline (attrs: ``operator``, ``source``);
+* ``operator.derive`` — the start of each derive step the DAG operator
+  replays from a shared materialized intermediate (attrs: ``operator``,
+  ``table``); failing it takes down only the classes depending on that
+  intermediate;
 * ``shard.exec`` — the start of every (plan class, shard) task the
   sharded scatter-gather executor dispatches (attrs: ``shard``,
   ``table``); the ``shard`` filter kills one shard while its siblings
@@ -51,6 +55,7 @@ SITES = (
     "storage.scan",
     "index.lookup",
     "operator.pipeline",
+    "operator.derive",
     "shard.exec",
 )
 

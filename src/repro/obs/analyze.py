@@ -18,7 +18,8 @@ checkable:
   the estimated-vs-actual ledger: per-class and per-query Q-error
   (``max(est/actual, actual/est)``), the standard cost-model fidelity
   metric.
-* :func:`run_calibration` — sweeps Tests 1–7 under all four algorithms,
+* :func:`run_calibration` — sweeps Tests 1–7 under every registered
+  algorithm (see :func:`calibration_algorithms`),
   reporting per-class Q-error quantiles and flagging every **misranking**:
   a pair of plans where the estimated-cheaper one measured slower.  A
   misranking is the failure mode that silently breaks TPLO/ETPLG/GG
@@ -28,7 +29,7 @@ checkable:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .metrics import Histogram
 
@@ -212,7 +213,21 @@ CALIBRATION_TESTS: Dict[str, List[int]] = {
     "test7": [1, 7, 9],
 }
 
-CALIBRATION_ALGORITHMS = ("tplo", "etplg", "gg", "optimal")
+def calibration_algorithms() -> Tuple[str, ...]:
+    """Algorithms swept by calibration, derived from the optimizer registry.
+
+    Every registered optimizer participates unless it opts out with
+    ``in_calibration = False`` (the naive baseline and the dp duplicate of
+    ``optimal``).  Newly registered algorithms are picked up automatically —
+    the hard-coded list this replaces silently skipped ``bgg`` and ``dag``.
+    """
+    from ..core.optimizer import OPTIMIZERS
+
+    return tuple(
+        name
+        for name, cls in OPTIMIZERS.items()
+        if getattr(cls, "in_calibration", True)
+    )
 
 #: Relative margin under which two costs are considered tied; inversions
 #: inside the margin are measurement noise, not misrankings.
@@ -413,17 +428,20 @@ def find_misrankings(
 def run_calibration(
     db: "Database",
     tests: Optional[Sequence[str]] = None,
-    algorithms: Sequence[str] = CALIBRATION_ALGORITHMS,
+    algorithms: Optional[Sequence[str]] = None,
 ) -> CalibrationReport:
     """Sweep the paper tests under every algorithm, executing each plan and
     ledgering estimated vs actual cost.
 
-    ``tests`` defaults to all of :data:`CALIBRATION_TESTS`.  Execution is
-    cold (the paper's measurement discipline), so simulated costs are
-    deterministic and comparable across runs.
+    ``tests`` defaults to all of :data:`CALIBRATION_TESTS`; ``algorithms``
+    defaults to :func:`calibration_algorithms` (the registry minus opt-outs).
+    Execution is cold (the paper's measurement discipline), so simulated
+    costs are deterministic and comparable across runs.
     """
     from ..workload.paper_queries import paper_queries
 
+    if algorithms is None:
+        algorithms = calibration_algorithms()
     names = list(tests) if tests is not None else list(CALIBRATION_TESTS)
     unknown = [t for t in names if t not in CALIBRATION_TESTS]
     if unknown:

@@ -118,6 +118,7 @@ def to_chrome_trace(
         events.append(
             {
                 "name": node.name,
+                "cat": _span_category(node.name),
                 "ph": "X",
                 "ts": round(((node.start_s or 0.0) - epoch) * 1e6, 3),
                 "dur": round(node.wall_s * 1e6, 3),
@@ -138,6 +139,12 @@ def to_chrome_trace(
                 }
             )
     return events
+
+
+def _span_category(name: str) -> str:
+    """Chrome-trace category: the span-name prefix (``dag.search`` →
+    ``dag``), so the viewer can filter a whole subsystem's spans at once."""
+    return name.split(".", 1)[0] if "." in name else name
 
 
 def _sim_total_ms(span: Span) -> float:
@@ -175,6 +182,7 @@ def to_cost_clock_track(
         events.append(
             {
                 "name": node.name,
+                "cat": _span_category(node.name),
                 "ph": "X",
                 "ts": round(start_ms * 1000.0, 3),
                 "dur": round(total * 1000.0, 3),

@@ -12,10 +12,12 @@ every shard, runs the (class x shard) grid concurrently, and gathers by
 merging partial aggregates:
 
 * SUM / COUNT merge by summation, MIN by ``min``, MAX by ``max`` — all
-  decomposable, per the Data Cube recipe (Gray et al.);
-* AVG is only *algebraic* (it needs sum and count carried separately), so
-  a plan containing an AVG query falls back to the unsharded parallel
-  executor rather than risk a wrong merge.
+  distributive, per the Data Cube recipe (Gray et al.);
+* AVG is *algebraic*: each shard's result carries its (sum, count) pairs
+  in ``QueryResult.avg_state``, the gather sums both components across
+  shards, and the final average is one division — exact, with no
+  fallback to the unsharded executor (``shard.avg_fallbacks`` stays
+  registered and is expected to read 0).
 
 Invariants (enforced by the shard parity tests and the paranoia lane):
 
@@ -289,7 +291,10 @@ def _run_shard_task(
     return outcome
 
 
-#: How each decomposable aggregate combines two partial group values.
+#: How each distributive aggregate combines two partial group values.
+#: AVG is absent deliberately: it merges through ``QueryResult.avg_state``
+#: (sum the sums, sum the counts, divide once) — see
+#: :func:`merge_partial_results`.
 _MERGERS = {
     Aggregate.SUM: lambda a, b: a + b,
     Aggregate.COUNT: lambda a, b: a + b,
@@ -299,12 +304,42 @@ _MERGERS = {
 
 
 def plan_is_decomposable(plan: "GlobalPlan") -> bool:
-    """Whether every query's aggregate merges across data partitions."""
+    """Whether every query's aggregate merges across data partitions.
+
+    Always true today: the distributive aggregates merge by their
+    combiner, and AVG merges exactly through its algebraic (sum, count)
+    state.  Kept as the explicit gate so a future non-decomposable
+    aggregate (MEDIAN, DISTINCT-COUNT without sketches) routes around the
+    shard path instead of silently merging wrong.
+    """
     return all(
         plan_query.query.aggregate in _MERGERS
+        or plan_query.query.aggregate is Aggregate.AVG
         for plan_class in plan.classes
         for plan_query in plan_class.plans
     )
+
+
+def _merge_avg(
+    query, position: int, partials: List[List[QueryResult]]
+) -> QueryResult:
+    """Merge one AVG query's shard partials via their (sum, count) state."""
+    state: Dict[GroupKey, Tuple[float, int]] = {}
+    for shard_results in partials:
+        partial = shard_results[position]
+        if partial.avg_state is None:  # pragma: no cover - executor invariant
+            raise ValueError(
+                f"AVG partial for {partial.query.display_name()} carries no "
+                f"avg_state; cannot merge shards exactly"
+            )
+        for key, (part_sum, part_count) in partial.avg_state.items():
+            if key in state:
+                acc_sum, acc_count = state[key]
+                state[key] = (acc_sum + part_sum, acc_count + part_count)
+            else:
+                state[key] = (part_sum, part_count)
+    groups = {key: s / c for key, (s, c) in state.items()}
+    return QueryResult(query=query, groups=groups, avg_state=state)
 
 
 def merge_partial_results(
@@ -312,13 +347,18 @@ def merge_partial_results(
 ) -> List[QueryResult]:
     """Gather: combine per-shard partial results into final answers.
 
-    ``partials`` holds each shard's result list in the class's plan order;
-    groups merge with the query's aggregate combiner.  Iterating shards in
-    shard order keeps group insertion order deterministic — and, for a
-    single shard, identical to the unsharded execution.
+    ``partials`` holds each shard's result list in the class's plan order.
+    Distributive aggregates merge group values with their combiner; AVG
+    merges its (sum, count) pairs and divides once at the end, so the
+    merged average is exact rather than an average of averages.  Iterating
+    shards in shard order keeps group insertion order deterministic — and,
+    for a single shard, identical to the unsharded execution.
     """
     merged: List[QueryResult] = []
     for position, query in enumerate(queries):
+        if query.aggregate is Aggregate.AVG:
+            merged.append(_merge_avg(query, position, partials))
+            continue
         combine = _MERGERS[query.aggregate]
         groups: Dict[GroupKey, float] = {}
         for shard_results in partials:
@@ -380,9 +420,12 @@ def execute_plan_sharded(
     are untouched — exactly the failure granularity the serve layer's
     retry/degrade ladder expects.
 
-    A plan containing a non-decomposable aggregate (AVG) falls back to
-    :func:`~repro.core.executor.execute_plan_parallel` on the unsharded
-    database (counted by ``shard.avg_fallbacks``).
+    Every paper aggregate shards: the distributive ones merge by their
+    combiner and AVG merges exactly through its (sum, count) state, so
+    nothing falls back to the unsharded executor any more.  The
+    ``shard.avg_fallbacks`` counter stays registered (dashboards pin it)
+    and is expected to read 0; a genuinely non-decomposable future
+    aggregate would route through it again.
 
     Paranoia validates the plan up front and cross-checks every merged
     class result against the brute-force reference over the *full* data —
@@ -393,12 +436,13 @@ def execute_plan_sharded(
     if n_workers <= 0:
         raise ValueError(f"n_workers must be positive (got {n_workers})")
     metrics = default_registry()
-    if not plan_is_decomposable(plan):
-        metrics.counter(
-            "shard.avg_fallbacks",
-            "plans routed to the unsharded executor (non-decomposable "
-            "aggregate)",
-        ).inc()
+    fallbacks = metrics.counter(
+        "shard.avg_fallbacks",
+        "plans routed to the unsharded executor (non-decomposable "
+        "aggregate; AVG merges via avg_state so this stays 0)",
+    )
+    if not plan_is_decomposable(plan):  # pragma: no cover - closed enum
+        fallbacks.inc()
         return execute_plan_parallel(
             db, plan, n_workers=n_workers, paranoia=paranoia
         )

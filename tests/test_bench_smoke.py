@@ -33,8 +33,10 @@ class TestRecordRun:
         record, path = recorded
         assert record.fingerprint["scale"] == SCALE
         assert set(record.tests) == {"test4"}
+        # The Table-2 sweep derives its algorithm list from the optimizer
+        # registry (everything with in_calibration=True).
         algorithms = {row["algorithm"] for row in record.tests["test4"]}
-        assert algorithms == {"tplo", "etplg", "gg", "optimal"}
+        assert algorithms == {"tplo", "etplg", "gg", "bgg", "optimal", "dag"}
         assert record.calibration["misrankings"] == 0
         assert record.calibration["q_error_p95"] >= 1.0
 

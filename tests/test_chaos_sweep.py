@@ -1,7 +1,7 @@
 """Chaos lane (``pytest -m chaos``): a seeded fault sweep over the paper
 workload.
 
-For every paper test (Tests 1-7) x optimizer (tplo / etplg / gg) x
+For every paper test (Tests 1-7) x optimizer (tplo / etplg / gg / dag) x
 injection site, a first-occurrence fault is armed and the plan executed.
 The lane asserts the whole resilience contract at once:
 
@@ -40,7 +40,7 @@ pytestmark = pytest.mark.chaos
 #: The lane's fixed seed: every firing below is reproducible from it.
 CHAOS_SEED = 1998
 
-ALGORITHMS = ("tplo", "etplg", "gg")
+ALGORITHMS = ("tplo", "etplg", "gg", "dag")
 
 SWEEP = [
     (test_name, algorithm)
@@ -128,6 +128,52 @@ def test_fault_sweep_over_paper_workload(paper_db, paper_qs, test_name,
 
     # Coherence: after the whole sweep, a disarmed run is clean and
     # byte-identical — no fault left the pool or tables corrupted.
+    final = db.execute(plan)
+    assert not final.failures
+    assert _snapshot(final) == baseline
+
+
+def test_derive_fault_fails_only_dependent_classes(paper_db, paper_qs):
+    """A fault inside a shared materialized intermediate (``operator.derive``)
+    fails exactly the dag class that owns the derive step — its scan and
+    derived queries — while sibling classes survive byte-identical."""
+    db = paper_db
+    queries = [paper_qs[i] for i in CALIBRATION_TESTS["test1"]]
+    plan = db.optimize(queries, "dag")
+    dag_classes = [
+        cls for cls in plan.classes if getattr(cls, "has_derives", False)
+    ]
+    assert dag_classes, "test1's dag plan materializes an intermediate"
+
+    clean = db.execute(plan)
+    assert not clean.failures
+    baseline = _snapshot(clean)
+
+    fault = FaultPlan(
+        [InjectionPoint(site="operator.derive", nth=1)], seed=CHAOS_SEED
+    )
+    db.arm_faults(fault)
+    try:
+        report = db.execute(plan)
+    finally:
+        db.disarm_faults()
+
+    assert fault.n_fired == 1
+    assert report.failures
+    assert all(
+        isinstance(f.error, InjectedFault) for f in report.failures
+    )
+    failed = set(report.failed_qids)
+    # Exactly one dag class died: the failed qids are its member set.
+    assert any(
+        failed == {q.qid for q in cls.queries} for cls in dag_classes
+    ), failed
+    # Classes with no derive step never even reach the site; survivors
+    # are byte-identical to the fault-free run.
+    for qid, groups in _snapshot(report).items():
+        assert groups == baseline[qid]
+
+    # Disarmed re-run is clean and byte-identical (coherence).
     final = db.execute(plan)
     assert not final.failures
     assert _snapshot(final) == baseline

@@ -79,7 +79,7 @@ class TestPlanValidity:
 
     def test_registry_contents(self):
         assert set(OPTIMIZERS) == {
-            "naive", "tplo", "etplg", "gg", "bgg", "optimal", "dp",
+            "naive", "tplo", "etplg", "gg", "bgg", "optimal", "dp", "dag",
         }
 
 

@@ -19,7 +19,7 @@ from repro.workload.paper_schema import PaperConfig, build_paper_database
 
 pytestmark = pytest.mark.paranoia
 
-ALGORITHMS = ("naive", "tplo", "etplg", "gg")
+ALGORITHMS = ("naive", "tplo", "etplg", "gg", "dag")
 
 #: Tests 1–3 are the shared-operator experiments (Figures 10–12); their
 #: query sets reuse Queries 1–8.  Tests 4–7 are the Table 2 sets.

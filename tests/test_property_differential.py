@@ -1,5 +1,5 @@
 """Property-based differential testing: for randomly generated schemas and
-workloads, all four optimization algorithms and the check-package reference
+workloads, every swept optimization algorithm and the check-package reference
 evaluator agree group-for-group.  This is the tentpole's contract stated as
 a property — sharing changes cost, never answers."""
 
@@ -15,7 +15,7 @@ from repro.workload.generator import generate_fact_rows
 
 from helpers import random_query
 
-ALGORITHMS = ("naive", "tplo", "etplg", "gg")
+ALGORITHMS = ("naive", "tplo", "etplg", "gg", "dag")
 
 
 def random_database(seed: int) -> Database:

@@ -7,8 +7,8 @@ The contract under test, per the shard module's invariants:
 * N=1 is **byte-identical** to the unsharded parallel executor — results,
   simulated cost, and operator actuals all match exactly;
 * N>1 is result-identical (merged partial aggregates), for every
-  decomposable aggregate;
-* AVG plans fall back to the unsharded executor;
+  aggregate — AVG included, merged exactly through its (sum, count)
+  ``avg_state`` with zero ``shard.avg_fallbacks``;
 * a ``shard.exec`` fault kills exactly one shard's task, failing its
   class while sibling classes survive byte-identical — and the serve
   layer's retry/degrade ladder recovers the request.
@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.executor import execute_plan_parallel
+from repro.core.operators.results import QueryResult
 from repro.faults import FaultPlan, InjectedFault, InjectionPoint
 from repro.schema.query import Aggregate, DimPredicate, GroupBy, GroupByQuery
 from repro.serve import ServeConfig, build_shards, execute_plan_sharded
@@ -156,13 +157,41 @@ class TestMergeHelpers:
         assert merged.rows_in[7] == 14
         assert merged.pipeline_cpu_ms[7] == pytest.approx(0.75)
 
-    def test_avg_is_not_decomposable(self, db):
+    def test_avg_plans_are_decomposable(self, db):
         avg = GroupByQuery(
             groupby=GroupBy((1, 1)), aggregate=Aggregate.AVG, label="avg"
         )
         plan = db.optimize([avg], "gg")
-        assert not plan_is_decomposable(plan)
+        assert plan_is_decomposable(plan)
         assert plan_is_decomposable(db.optimize(queries(), "gg"))
+
+    def test_merge_avg_from_sum_count_state(self):
+        query = GroupByQuery(
+            groupby=GroupBy((0, 0)), aggregate=Aggregate.AVG, label="avg"
+        )
+        left = QueryResult(
+            query=query,
+            groups={(0, 0): 2.0},
+            avg_state={(0, 0): (6.0, 3)},
+        )
+        right = QueryResult(
+            query=query,
+            groups={(0, 0): 5.0, (1, 0): 7.0},
+            avg_state={(0, 0): (5.0, 1), (1, 0): (7.0, 1)},
+        )
+        merged = merge_partial_results([query], [[left], [right]])[0]
+        # (6 + 5) / (3 + 1): the exact merge, NOT mean(2.0, 5.0) = 3.5.
+        assert merged.groups[(0, 0)] == pytest.approx(11.0 / 4.0)
+        assert merged.groups[(1, 0)] == pytest.approx(7.0)
+        assert merged.avg_state[(0, 0)] == (11.0, 4)
+
+    def test_merge_avg_without_state_raises(self):
+        query = GroupByQuery(
+            groupby=GroupBy((0, 0)), aggregate=Aggregate.AVG, label="avg"
+        )
+        bare = QueryResult(query=query, groups={(0, 0): 2.0})
+        with pytest.raises(ValueError, match="avg_state"):
+            merge_partial_results([query], [[bare]])
 
 
 class TestShardedExecution:
@@ -207,15 +236,35 @@ class TestShardedExecution:
         assert not sharded.failures
         assert_result_identical(sharded, base)
 
-    def test_avg_plan_falls_back_to_unsharded(self, db):
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_avg_merges_exactly_across_shards(self, db, n_shards):
+        from repro.obs.metrics import MetricsRegistry, set_default_registry
+
         avg = GroupByQuery(
             groupby=GroupBy((1, 1)), aggregate=Aggregate.AVG, label="avg"
         )
-        plan = db.optimize([avg], "gg")
+        plan = db.optimize([avg] + queries()[1:], "gg")
         base = execute_plan_parallel(db, plan)
-        sharded = execute_plan_sharded(db, build_shards(db, 3), plan)
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            sharded = execute_plan_sharded(
+                db, build_shards(db, n_shards), plan
+            )
+        finally:
+            set_default_registry(previous)
         assert not sharded.failures
         assert_result_identical(sharded, base)
+        # The AVG hot path is gone: nothing routed around the shards.
+        fallbacks = registry.counter("shard.avg_fallbacks", "")
+        assert fallbacks.value == 0
+        merged_avg = next(
+            r
+            for ce in sharded.class_executions
+            for r in ce.results
+            if r.query.aggregate is Aggregate.AVG
+        )
+        assert merged_avg.avg_state  # state survives the gather
 
     def test_single_worker_path(self, db):
         plan = db.optimize(queries(), "gg")
