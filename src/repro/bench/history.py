@@ -58,7 +58,7 @@ def database_fingerprint(db: "Database", scale: Optional[float] = None) -> dict:
     from dataclasses import asdict
 
     schema = db.schema
-    return {
+    out = {
         "schema": schema.name,
         "dimensions": [
             {
@@ -76,6 +76,17 @@ def database_fingerprint(db: "Database", scale: Optional[float] = None) -> dict:
         "page_size": db.page_size,
         "scale": scale,
     }
+    # A loaded calibration profile is part of the run's identity even
+    # though its rates are already captured above: two *different*
+    # profiles could fit identical rates tomorrow, and — more importantly —
+    # the profile label says *why* the rates differ.  The key is added
+    # only when a profile is loaded, so records written before this field
+    # existed (and default-rates records generally) keep their exact
+    # fingerprints and continue to gate.
+    profile = getattr(db, "calibration_profile", None)
+    if profile is not None:
+        out["profile"] = profile.identity()
+    return out
 
 
 @dataclass
@@ -96,6 +107,12 @@ class RunRecord:
     #: Deliberately *not* part of the fingerprint — both paths produce the
     #: same simulated costs, so their records gate against each other.
     kernels: Optional[bool] = None
+    #: Identity of the calibration profile the run was recorded under
+    #: (``{"label", "digest"}``), or None for hand-set default rates.
+    #: Unlike ``kernels`` this IS mirrored in the fingerprint: fitted
+    #: rates change simulated costs, so profiled and unprofiled records
+    #: must never gate each other.
+    profile: Optional[dict] = None
     #: Wall-clock seconds (context only, never gated):
     #: ``{"figures_s", "calibration_s", "total_s"}``.
     wall: Dict[str, float] = field(default_factory=dict)
@@ -108,6 +125,7 @@ class RunRecord:
             "created_at": self.created_at,
             "fingerprint": self.fingerprint,
             "kernels": self.kernels,
+            "profile": self.profile,
             "wall": self.wall,
             "figures": self.figures,
             "tests": self.tests,
@@ -147,6 +165,7 @@ class RunRecord:
             tests=_rows_by_name(data, "tests"),
             calibration=_typed(data, "calibration", dict, {}),
             kernels=data.get("kernels"),
+            profile=data.get("profile"),
             wall=_typed(data, "wall", dict, {}),
             version=version,
         )
@@ -154,6 +173,11 @@ class RunRecord:
             raise ValueError(
                 f"field 'kernels' must be a boolean or null, got "
                 f"{type(record.kernels).__name__}"
+            )
+        if record.profile is not None and not isinstance(record.profile, dict):
+            raise ValueError(
+                f"field 'profile' must be an object or null, got "
+                f"{type(record.profile).__name__}"
             )
         for key, value in record.wall.items():
             if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -214,6 +238,7 @@ def record_run(
     algorithms: Optional[Sequence[str]] = None,
     figures: bool = True,
     kernels: bool = True,
+    profile=None,
 ) -> RunRecord:
     """Run the paper workload and build its telemetry record.
 
@@ -223,6 +248,9 @@ def record_run(
     restricts the calibration/Table-2 sweep (see
     :data:`repro.obs.analyze.CALIBRATION_TESTS`); ``figures=False`` skips
     the Figures 10–12 sharing sweeps (the slow part at larger scales).
+    ``profile`` (a :class:`repro.calibrate.profile.CalibrationProfile`)
+    applies fitted cost rates to the database before the run and stamps the
+    record — and its fingerprint — with the profile's identity.
     """
     from ..workload.paper_queries import paper_queries
     from .harness import (
@@ -235,12 +263,18 @@ def record_run(
         from ..workload.paper_schema import build_paper_database
 
         db = build_paper_database(scale=scale, kernels=kernels)
+    if profile is not None:
+        db.apply_profile(profile)
+    active_profile = getattr(db, "calibration_profile", None)
     started = time.perf_counter()
     record = RunRecord(
         label=label,
         created_at=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         fingerprint=database_fingerprint(db, scale=scale),
         kernels=bool(getattr(db, "kernels", True)),
+        profile=(
+            active_profile.identity() if active_profile is not None else None
+        ),
     )
     queries = paper_queries(db.schema)
     if figures:

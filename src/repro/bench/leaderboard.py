@@ -82,13 +82,65 @@ def _cell(value: object, fmt: str = "{}") -> str:
     return "-" if value is None else fmt.format(value)
 
 
+def _profile_name(record: RunRecord) -> Optional[str]:
+    if not record.profile:
+        return None
+    label = record.profile.get("label", "?")
+    digest = record.profile.get("digest", "")
+    return f"{label}@{digest[:8]}" if digest else str(label)
+
+
+def render_plan_quality(
+    records: Sequence[Tuple[PathLike, RunRecord]],
+) -> str:
+    """The per-algorithm plan-quality table: Q-error p50/p95 over each
+    algorithm's executed classes and the count of misrankings in which the
+    model wrongly preferred that algorithm's plan (see
+    :meth:`CalibrationReport.algorithm_summary
+    <repro.obs.analyze.CalibrationReport.algorithm_summary>`).  Records
+    written before the per-algorithm summary existed are skipped; an empty
+    result is the empty string so the caller can splice it conditionally.
+    """
+    lines: List[str] = []
+    for path, record in sorted(records, key=lambda item: str(item[0])):
+        algos = record.calibration.get("algorithms")
+        if not isinstance(algos, dict) or not algos:
+            continue
+        for name in sorted(algos):
+            row = algos[name]
+            if not isinstance(row, dict):
+                continue
+            lines.append(
+                "| {} | {} | {} | {} | {} | {} |".format(
+                    Path(path).name,
+                    name,
+                    _cell(row.get("n_classes")),
+                    _cell(row.get("q_error_p50")),
+                    _cell(row.get("q_error_p95")),
+                    _cell(row.get("misrankings")),
+                )
+            )
+    if not lines:
+        return ""
+    header = [
+        "| record | algorithm | classes | q-error p50 | q-error p95 "
+        "| mispreferred |",
+        "|---|---|---|---|---|---|",
+    ]
+    return "\n".join(header + lines)
+
+
 def render_leaderboard(
     records: Sequence[Tuple[PathLike, RunRecord]],
 ) -> str:
-    """The leaderboard as a markdown table, fastest wall clock first.
+    """The leaderboard as markdown, fastest wall clock first: the headline
+    table, then (when any record carries per-algorithm calibration data)
+    the plan-quality table.
 
     Simulated columns are byte-comparable across rows that share a
-    fingerprint; wall seconds are environment-dependent context.
+    fingerprint; wall seconds are environment-dependent context.  The
+    ``profile`` column names the calibration profile a record ran under
+    (``label@digest``), ``-`` for hand-set default rates.
     """
     if not records:
         raise ValueError("no benchmark records to render")
@@ -99,15 +151,16 @@ def render_leaderboard(
         return (wall is None, wall if wall is not None else 0.0, str(path))
 
     lines = [
-        "| record | path | recorded | wall s | gg sim-ms | dag sim-ms "
-        "| best speedup | q-error p95 | misrankings |",
-        "|---|---|---|---|---|---|---|---|---|",
+        "| record | path | profile | recorded | wall s | gg sim-ms "
+        "| dag sim-ms | best speedup | q-error p95 | misrankings |",
+        "|---|---|---|---|---|---|---|---|---|---|",
     ]
     for path, record in sorted(records, key=sort_key):
         lines.append(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |".format(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |".format(
                 Path(path).name,
                 _PATH_NAMES.get(record.kernels, "?"),
+                _cell(_profile_name(record)),
                 record.created_at or "-",
                 _cell(record.wall.get("total_s"), "{:.2f}"),
                 _cell(_gg_sim_total(record), "{:.1f}"),
@@ -117,4 +170,10 @@ def render_leaderboard(
                 _cell(record.calibration.get("misrankings")),
             )
         )
-    return "\n".join(lines)
+    table = "\n".join(lines)
+    quality = render_plan_quality(records)
+    if quality:
+        table += "\n\nPer-algorithm plan quality (mispreferred = misrankings "
+        table += "where the model wrongly preferred this algorithm's plan):\n\n"
+        table += quality
+    return table

@@ -59,6 +59,34 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         "default vectorized columnar kernels (same results and simulated "
         "costs, slower wall clock; see docs/performance.md)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="run under a fitted calibration profile (see `repro calibrate "
+        "--fit`): its cost rates replace the hand-set defaults for both "
+        "planning and the simulated clock; for `calibrate --fit` this is "
+        "instead the path the fitted profile is written to",
+    )
+
+
+def _load_profile(path: str):
+    """Load a calibration profile or die with a usage error naming it."""
+    from .calibrate.profile import CalibrationProfile
+
+    try:
+        return CalibrationProfile.load(path)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _build_db(args: argparse.Namespace):
+    """The paper database per the common flags (--scale, --tuple-path,
+    --profile)."""
+    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    if getattr(args, "profile", None):
+        db.apply_profile(_load_profile(args.profile))
+    return db
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -164,6 +192,22 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument(
         "--tests", default=None,
         help="comma-separated subset of: " + ", ".join(PAPER_TESTS),
+    )
+    calibrate.add_argument(
+        "--fit", action="store_true",
+        help="fit CostRates coefficients from the sweep's recorded actuals "
+        "(deterministic least squares, see docs/cost_model.md); with "
+        "--profile FILE the fitted profile is written there",
+    )
+    calibrate.add_argument(
+        "--report", action="store_true",
+        help="with --fit: print the full before/after comparison "
+        "(per-algorithm plan quality, misrankings under both rate sets) "
+        "instead of just the fitted-rates summary",
+    )
+    calibrate.add_argument(
+        "--label", default="paper",
+        help="label stamped into the fitted profile (default 'paper')",
     )
 
     bench = sub.add_parser(
@@ -383,7 +427,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     print(f"schema: {db.schema.name}; base rows: "
           f"{db.catalog.get('ABCD').n_rows}")
     rows = []
@@ -417,7 +461,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         db = load_database(args.database)
         db.kernels = not args.tuple_path
     else:
-        db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+        db = _build_db(args)
     db.paranoia = args.paranoia
     if args.paranoia:
         print("paranoia: validating plans and cross-checking every result "
@@ -481,7 +525,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         raise CliError(
             f"unknown tests {unknown}; choose from {list(PAPER_TESTS)}"
         )
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     db.paranoia = args.paranoia
     if args.paranoia:
         print("paranoia: validating plans and cross-checking every result "
@@ -507,7 +551,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     qs = paper_queries(db.schema)
     for title, rows in [
         (
@@ -548,7 +592,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         raise CliError("provide MDX text or --file")
     from .core.explain import explain_plan
 
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     queries = translate_mdx(db.schema, mdx)
     plan = db.optimize(queries, args.algorithm)
     print(explain_plan(db.schema, db.catalog, plan))
@@ -605,7 +649,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan = parse_fault_plan(args.faults, seed=args.fault_seed)
         except ValueError as exc:
             raise CliError(f"bad --faults spec: {exc}") from exc
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     if args.shard_dim is not None and args.shard_dim not in [
         dim.name for dim in db.schema.dimensions
     ]:
@@ -689,7 +733,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         raise CliError(
             f"unknown test {args.test!r}; choose from {list(PAPER_TESTS)}"
         )
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     qs = paper_queries(db.schema)
     queries = [qs[i] for i in PAPER_TESTS[args.test]]
     plan = db.optimize(queries, args.algorithm)
@@ -735,7 +779,31 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .obs.analyze import run_calibration
 
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    if args.report and not args.fit:
+        raise CliError("--report requires --fit")
+    if args.fit:
+        from .calibrate import fit_database
+
+        # --profile names the OUTPUT here, so build the database on its
+        # hand-set default rates rather than loading the file.
+        db = build_paper_database(
+            scale=args.scale, kernels=not args.tuple_path
+        )
+        outcome = fit_database(
+            db,
+            tests=_parse_tests(args.tests),
+            label=args.label,
+            scale=args.scale,
+        )
+        print(
+            outcome.render_report() if args.report
+            else outcome.render_summary()
+        )
+        if args.profile:
+            path = outcome.profile.save(args.profile)
+            print(f"\ncalibration profile '{args.label}' -> {path}")
+        return 0
+    db = _build_db(args)
     report = run_calibration(db, tests=_parse_tests(args.tests))
     print(report.render())
     return 0
@@ -802,6 +870,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         tests=_parse_tests(args.tests),
         figures=not args.no_figures,
         kernels=not args.tuple_path,
+        profile=_load_profile(args.profile) if args.profile else None,
     )
     if args.record:
         path = args.output or default_path
@@ -825,7 +894,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_select_views(args: argparse.Namespace) -> int:
-    db = build_paper_database(scale=args.scale, kernels=not args.tuple_path)
+    db = _build_db(args)
     n_base = db.catalog.get("ABCD").n_rows
     selection = greedy_select_views(db.schema, n_base, n_views=args.budget)
     print(

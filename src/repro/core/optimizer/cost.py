@@ -398,7 +398,19 @@ class CostModel:
         methods: Sequence[JoinMethod],
     ) -> float:
         """Cost of a class whose per-query join methods are already fixed
-        (used to cost TPLO's merged plans, which keep local choices)."""
+        (used to cost TPLO's merged plans, which keep local choices).
+
+        **Linearity contract**: for fixed methods, the returned cost is an
+        exact linear function of the :class:`CostRates` fields — every
+        term is ``predicted_units * rate`` with the unit counts depending
+        only on the catalog, statistics, and query shapes.  The
+        calibration fitter (:mod:`repro.calibrate`) relies on this to
+        extract per-unit predictions by re-costing classes against unit
+        basis rates; a costing path that breaks linearity (e.g. a rate
+        inside a ``max``/branch condition) would silently corrupt the fit,
+        so :func:`repro.calibrate.observations.estimated_units` re-checks
+        the decomposition per class.
+        """
         if len(queries) != len(methods):
             raise ValueError("queries and methods must align")
         r = self.rates

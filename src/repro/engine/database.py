@@ -83,6 +83,33 @@ class Database:
         #: Armed :class:`repro.faults.FaultPlan` (see :meth:`arm_faults`),
         #: or None when fault injection is off.
         self.faults = None
+        #: The loaded :class:`repro.calibrate.profile.CalibrationProfile`,
+        #: or None when running on hand-set rates.  Set by
+        #: :meth:`apply_profile`; benchmark fingerprints embed its identity
+        #: so fitted-rates and default-rates records can never silently
+        #: gate each other.
+        self.calibration_profile = None
+
+    # -- cost-rate calibration ------------------------------------------------
+
+    def set_rates(self, rates: CostRates) -> None:
+        """Swap the simulated cost clock's rates in place.
+
+        The clock object itself is untouched (the buffer pool and every
+        operator charge through the same :class:`IOStats` instance), so the
+        swap takes effect for all subsequent optimization *and* execution —
+        both optimizer families build their :class:`CostModel` from
+        ``db.stats.rates`` per :meth:`optimize` call.  Counters are kept;
+        call between executions, not during one (an in-flight snapshot
+        diff across a rate change raises by design).
+        """
+        self.stats.rates = rates
+
+    def apply_profile(self, profile) -> None:
+        """Run under a fitted calibration profile (see
+        :mod:`repro.calibrate`): swap in its rates and record provenance."""
+        self.set_rates(profile.rates)
+        self.calibration_profile = profile
 
     # -- loading and precomputation -------------------------------------------
 

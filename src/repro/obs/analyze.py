@@ -29,7 +29,7 @@ checkable:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .metrics import Histogram
 
@@ -320,6 +320,39 @@ class CalibrationReport:
             hist.observe(row.q_error)
         return hist
 
+    def algorithm_summary(self) -> Dict[str, dict]:
+        """Per-algorithm plan quality: Q-error quantiles over the
+        algorithm's executed classes, and the number of misrankings in
+        which the model *wrongly preferred* that algorithm's plan (the
+        ``cheap_est`` side — the side an optimizer trusting the estimate
+        would actually pick).  This is what the leaderboard's plan-quality
+        columns render."""
+        out: Dict[str, dict] = {}
+        by_algo: Dict[str, Histogram] = {}
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            hist = by_algo.get(row.algorithm)
+            if hist is None:
+                hist = by_algo[row.algorithm] = Histogram(
+                    f"calibration.q_error.{row.algorithm}",
+                    "per-class cost Q-error",
+                )
+            hist.observe(row.q_error)
+            counts[row.algorithm] = counts.get(row.algorithm, 0) + 1
+        mispreferred: Dict[str, int] = {}
+        for miss in self.misrankings:
+            algo = miss.cheap_est.algorithm
+            mispreferred[algo] = mispreferred.get(algo, 0) + 1
+        for algo in sorted(by_algo):
+            dump = by_algo[algo].dump()
+            out[algo] = {
+                "n_classes": counts[algo],
+                "q_error_p50": round(dump["p50"], 4),
+                "q_error_p95": round(dump["p95"], 4),
+                "misrankings": mispreferred.get(algo, 0),
+            }
+        return out
+
     def summary(self) -> dict:
         """JSON-able summary for benchmark history records."""
         hist = self.q_error_histogram()
@@ -333,6 +366,7 @@ class CalibrationReport:
             "q_error_p95": round(dump["p95"], 4) if self.rows else None,
             "q_error_p99": round(dump["p99"], 4) if self.rows else None,
             "q_error_max": round(dump["max"], 4) if self.rows else None,
+            "algorithms": self.algorithm_summary(),
         }
 
     def render(self) -> str:
@@ -429,6 +463,9 @@ def run_calibration(
     db: "Database",
     tests: Optional[Sequence[str]] = None,
     algorithms: Optional[Sequence[str]] = None,
+    on_execution: Optional[
+        Callable[[str, str, "ClassExecution"], None]
+    ] = None,
 ) -> CalibrationReport:
     """Sweep the paper tests under every algorithm, executing each plan and
     ledgering estimated vs actual cost.
@@ -437,6 +474,11 @@ def run_calibration(
     defaults to :func:`calibration_algorithms` (the registry minus opt-outs).
     Execution is cold (the paper's measurement discipline), so simulated
     costs are deterministic and comparable across runs.
+
+    ``on_execution(test, algorithm, class_execution)`` is invoked for every
+    executed class, letting the calibration fitter
+    (:mod:`repro.calibrate`) collect its observations from the *same*
+    sweep that produces this report instead of paying for a second one.
     """
     from ..workload.paper_queries import paper_queries
 
@@ -457,6 +499,8 @@ def run_calibration(
             plan = db.optimize(batch, algorithm)
             execution = db.execute(plan)
             for cls_exec in execution.class_executions:
+                if on_execution is not None:
+                    on_execution(test, algorithm, cls_exec)
                 report.rows.append(
                     CalibrationRow(
                         test=test,

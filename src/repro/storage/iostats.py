@@ -55,6 +55,43 @@ class CostRates:
         current.update(overrides)
         return CostRates(**current)
 
+    def as_dict(self) -> dict:
+        """Field -> value, in declaration order (the serialization the
+        calibration profiles and benchmark fingerprints persist)."""
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_mapping(cls, data: object) -> "CostRates":
+        """Parse a rates mapping **strictly**: every field present, no
+        unknown fields, every value a finite number.  Raises
+        :class:`ValueError` describing the first problem — a drifted
+        calibration profile must fail loudly, not half-apply.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"rates must be an object, got {type(data).__name__}"
+            )
+        names = [f.name for f in fields(cls)]
+        missing = [n for n in names if n not in data]
+        if missing:
+            raise ValueError(f"missing rate(s) {missing}")
+        extra = [k for k in data if k not in names]
+        if extra:
+            raise ValueError(f"unknown rate(s) {extra}")
+        values = {}
+        for name in names:
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"rate {name!r} must be a number, got "
+                    f"{type(value).__name__}"
+                )
+            value = float(value)
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ValueError(f"rate {name!r} must be finite")
+            values[name] = value
+        return cls(**values)
+
 
 #: Rates used when none are specified.
 DEFAULT_RATES = CostRates()

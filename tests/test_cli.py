@@ -275,3 +275,92 @@ class TestTuplePathFlag:
         assert main(["run", *SCALE, "--tuple-path", mdx]) == 0
         tuple_out = capsys.readouterr().out
         assert normalized(kernel_out) == normalized(tuple_out)
+
+
+class TestProfileFlag:
+    """--profile error paths (the exit-2 contract) and the happy path.
+
+    The full fit round-trip lives in the calibrate_smoke lane; here we only
+    exercise the cheap file-handling surface."""
+
+    def make_profile_file(self, tmp_path):
+        from repro.calibrate.profile import CalibrationProfile
+        from repro.storage.iostats import DEFAULT_RATES
+
+        path = tmp_path / "profile.json"
+        # Double the sequential rate too: every plan reads pages, so the
+        # repriced sim cost always moves even when a plan has no random
+        # probes.
+        CalibrationProfile(
+            rates=DEFAULT_RATES.replace(
+                seq_page_read_ms=2.6, rand_page_read_ms=9.0
+            ),
+            base_rates=DEFAULT_RATES,
+            label="clitest",
+        ).save(path)
+        return path
+
+    def test_missing_profile_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(["info", *SCALE, "--profile", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "nope.json" in err
+        assert "repro calibrate --fit" in err  # the fix is in the message
+
+    def test_corrupt_profile_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["calibrate", *SCALE, "--tests", "test4",
+                     "--profile", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.json" in err
+        assert "not valid JSON" in err
+
+    def test_drifted_profile_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = self.make_profile_file(tmp_path)
+        data = json.loads(path.read_text())
+        del data["rates"]["rand_page_read_ms"]
+        path.write_text(json.dumps(data))
+        assert main(["info", *SCALE, "--profile", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "profile.json" in err
+        assert "missing rate" in err
+
+    def test_profile_applies_to_run(self, tmp_path, capsys):
+        import re
+
+        def normalized(text):
+            # Wall clock is machine noise; strip it so the comparison is
+            # about the deterministic simulated costs only.
+            return re.sub(r"wall [\d.]+ ms", "wall - ms", text)
+
+        mdx = "{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D.DD1)"
+        path = self.make_profile_file(tmp_path)
+        assert main(["run", *SCALE, mdx]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["run", *SCALE, "--profile", str(path), mdx]) == 0
+        profiled_out = capsys.readouterr().out
+        # The profile re-prices the cost clock (2x per sequential page),
+        # so the simulated times genuinely move.
+        assert normalized(default_out) != normalized(profiled_out)
+
+    def test_calibrate_report_without_fit_exits_2(self, capsys):
+        assert main(["calibrate", "--report", *SCALE]) == 2
+        assert "--report requires --fit" in capsys.readouterr().err
+
+    def test_bench_record_stamps_profile(self, tmp_path, capsys):
+        from repro.bench.history import RunRecord
+
+        path = self.make_profile_file(tmp_path)
+        out = tmp_path / "BENCH_prof.json"
+        assert main([
+            "bench", *SCALE, "--record", "--label", "prof",
+            "--output", str(out), "--profile", str(path),
+            "--tests", "test4", "--no-figures",
+        ]) == 0
+        record = RunRecord.load(out)
+        assert record.profile is not None
+        assert record.profile["label"] == "clitest"
+        assert record.fingerprint["profile"] == record.profile
